@@ -1,0 +1,81 @@
+"""Experiment A5 (ours) — pure analytical model vs hybrid simulation.
+
+The paper's motivation (§II-B): pure analytical models (GPUMech, MDM,
+GCoM) are fast but "not suitable for fine-grained architectural
+exploration".  This ablation quantifies both halves against our
+GPUMech-style interval model: it is far faster than even
+Swift-Sim-Memory, but its error against the hardware oracle is larger
+and — critically — it cannot resolve a cache replacement-policy change
+that the hybrid simulator resolves easily.
+"""
+
+import pytest
+
+from repro.oracle.hardware import HardwareOracle
+from repro.simulators.interval import IntervalSimulator
+from repro.simulators.swift_basic import SwiftSimBasic
+from repro.simulators.swift_memory import SwiftSimMemory
+from repro.tracegen.suites import make_app
+
+APPS = ("bfs", "gemm", "hotspot", "sm")
+
+
+@pytest.fixture(scope="module")
+def sweep(gpu, scale):
+    oracle = HardwareOracle(gpu)
+    rows = {}
+    for app_name in APPS:
+        app = make_app(app_name, scale=scale)
+        rows[app_name] = {
+            "oracle": oracle.measure(app),
+            "basic": SwiftSimBasic(gpu).simulate(app, gather_metrics=False),
+            "memory": SwiftSimMemory(gpu).simulate(app, gather_metrics=False),
+            "interval": IntervalSimulator(gpu).simulate(app),
+        }
+    return rows
+
+
+def _error(row, key):
+    return 100.0 * abs(row[key].total_cycles - row["oracle"]) / row["oracle"]
+
+
+def test_interval_is_fastest(sweep, benchmark):
+    benchmark(lambda: {a: r["interval"].wall_time_seconds for a, r in sweep.items()})
+    print()
+    for app_name, row in sweep.items():
+        print(f"  {app_name:8s} err: basic={_error(row, 'basic'):5.1f}% "
+              f"memory={_error(row, 'memory'):5.1f}% "
+              f"interval={_error(row, 'interval'):5.1f}% | "
+              f"interval wall {row['interval'].wall_time_seconds * 1000:.1f}ms")
+    for row in sweep.values():
+        assert row["interval"].wall_time_seconds < row["memory"].wall_time_seconds
+
+
+def test_interval_error_larger_on_average(sweep, benchmark):
+    benchmark(lambda: [_error(r, "interval") for r in sweep.values()])
+    mean_interval = sum(_error(r, "interval") for r in sweep.values()) / len(sweep)
+    mean_basic = sum(_error(r, "basic") for r in sweep.values()) / len(sweep)
+    # The hybrid must not be worse than the pure analytical model.
+    assert mean_basic <= mean_interval + 5.0
+
+
+def test_interval_blind_to_replacement_policy(gpu, scale, benchmark):
+    """The §II-B argument made concrete: reuse-distance-based analytical
+    hit rates assume LRU, so the interval model cannot see a FIFO L1 —
+    while the hybrid simulator resolves it."""
+    app = make_app("hotspot", scale=scale)
+    lru_gpu = gpu.with_l1(replacement="LRU")
+    fifo_gpu = gpu.with_l1(replacement="FIFO")
+    interval_delta = abs(
+        IntervalSimulator(lru_gpu, hit_rate_source="reuse_distance").simulate(app).total_cycles
+        - IntervalSimulator(fifo_gpu, hit_rate_source="reuse_distance").simulate(app).total_cycles
+    )
+    basic_delta = abs(
+        SwiftSimBasic(lru_gpu).simulate(app, gather_metrics=False).total_cycles
+        - SwiftSimBasic(fifo_gpu).simulate(app, gather_metrics=False).total_cycles
+    )
+    benchmark(lambda: (interval_delta, basic_delta))
+    print(f"\n  replacement-policy sensitivity: interval={interval_delta} cycles, "
+          f"hybrid={basic_delta} cycles")
+    assert interval_delta == 0
+    assert basic_delta > 0

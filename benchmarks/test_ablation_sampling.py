@@ -1,0 +1,45 @@
+"""Experiment A4 (ours) — block-sampled simulation.
+
+Sampling-based estimation is the orthogonal acceleration the paper's
+related work discusses; composing it with Swift-Sim-Basic quantifies the
+accuracy/speed trade on homogeneous vs heterogeneous kernels.
+"""
+
+import pytest
+
+from repro.simulators.sampled import SampledSimulator
+from repro.simulators.swift_basic import SwiftSimBasic
+from repro.tracegen.suites import make_app
+
+HOMOGENEOUS = "sm"      # every block identical
+HETEROGENEOUS = "lu"    # shrinking per-kernel block counts
+
+
+@pytest.fixture(scope="module")
+def sweep(gpu, scale):
+    results = {}
+    for app_name in (HOMOGENEOUS, HETEROGENEOUS):
+        app = make_app(app_name, scale=scale)
+        full = SwiftSimBasic(gpu).simulate(app, gather_metrics=False)
+        sampled = SampledSimulator(SwiftSimBasic(gpu), rate=2, min_blocks=4).simulate(app)
+        results[app_name] = (full, sampled)
+    return results
+
+
+def test_sampling_accuracy(sweep, benchmark):
+    benchmark(lambda: {a: (f.total_cycles, s.total_cycles) for a, (f, s) in sweep.items()})
+    print()
+    for app_name, (full, sampled) in sweep.items():
+        error = 100.0 * abs(sampled.total_cycles - full.total_cycles) / full.total_cycles
+        speedup = full.wall_time_seconds / max(sampled.wall_time_seconds, 1e-9)
+        print(f"  {app_name:4s} full={full.total_cycles:8d} "
+              f"sampled={sampled.total_cycles:8d} err={error:5.1f}% spd={speedup:4.1f}x")
+    full, sampled = sweep[HOMOGENEOUS]
+    error = abs(sampled.total_cycles - full.total_cycles) / full.total_cycles
+    assert error < 0.5
+
+
+def test_sampling_speed(sweep, benchmark):
+    benchmark(lambda: {a: s.wall_time_seconds for a, (f, s) in sweep.items()})
+    for app_name, (full, sampled) in sweep.items():
+        assert sampled.wall_time_seconds <= full.wall_time_seconds * 1.1, app_name

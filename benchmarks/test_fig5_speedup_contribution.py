@@ -1,0 +1,54 @@
+"""Experiment F5 — Figure 5: contribution analysis of the speedup.
+
+Paper decomposition: Swift-Sim-Basic is 14.5x over Accel-Sim
+single-threaded; the analytical memory model adds another 2.7x
+(39.7x total); parallel simulation adds ~5x to both, reaching 82.6x and
+211.2x.  Shape to reproduce: each factor > 1 and the totals compose
+multiplicatively.
+"""
+
+import pytest
+
+from repro.eval.figures import figure5
+from repro.simulators.parallel import default_worker_count
+
+
+@pytest.fixture(scope="module")
+def figure5_data(gpu, scale, apps):
+    # The parallel legs re-simulate the whole list; a moderate subset
+    # keeps the bench affordable while exercising every path.
+    subset = apps[: min(len(apps), 8)]
+    return figure5(gpu, scale=scale, apps=subset, workers=default_worker_count())
+
+
+def test_contribution_factors(figure5_data, benchmark):
+    data = figure5_data
+    benchmark(data.render)
+    print()
+    print(data.render())
+    print("\npaper: basic 14.5x single-thread, memory +2.7x (39.7x), "
+          "parallel ~5x -> 82.6x / 211.2x")
+    assert data.basic_single > 2.0
+    assert data.memory_over_basic > 1.0
+    assert data.memory_single > data.basic_single
+
+
+def test_parallelism_gains(figure5_data, benchmark):
+    data = figure5_data
+    benchmark(lambda: (data.parallel_gain_basic, data.parallel_gain_memory))
+    if data.workers > 1:
+        assert data.parallel_gain_basic > 1.0
+        assert data.parallel_gain_memory > 0.8  # short runs amortize worse
+
+
+def test_totals_compose(figure5_data, benchmark):
+    data = figure5_data
+    benchmark(lambda: (data.basic_total, data.memory_total))
+    assert data.basic_total == pytest.approx(
+        data.basic_single * data.parallel_gain_basic
+    )
+    assert data.memory_total == pytest.approx(
+        data.memory_single * data.parallel_gain_memory
+    )
+    if data.workers > 1:
+        assert data.memory_total > data.basic_total

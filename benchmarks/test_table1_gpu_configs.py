@@ -1,0 +1,26 @@
+"""Experiment T1 — Table I: comparison of three NVIDIA GPUs.
+
+Regenerates the table from the presets and checks every disclosed value
+against the paper.
+"""
+
+from repro.eval.tables import render_table1, table1_rows
+
+
+PAPER_TABLE1 = {
+    "Architecture": {"RTX 2080 Ti": "Turing", "RTX 3060": "Ampere", "RTX 3090": "Ampere"},
+    "Graphics Processor": {"RTX 2080 Ti": "TU102", "RTX 3060": "GA106", "RTX 3090": "GA102"},
+    "SMs": {"RTX 2080 Ti": "68", "RTX 3060": "28", "RTX 3090": "82"},
+    "CUDA Cores": {"RTX 2080 Ti": "4352", "RTX 3060": "3584", "RTX 3090": "10496"},
+    "L2 Cache": {"RTX 2080 Ti": "5.5MB", "RTX 3060": "3MB", "RTX 3090": "6MB"},
+}
+
+
+def test_table1_matches_paper(benchmark):
+    rows = benchmark(table1_rows)
+    by_attribute = {row["attribute"]: row for row in rows}
+    for attribute, expected in PAPER_TABLE1.items():
+        for gpu_name, value in expected.items():
+            assert by_attribute[attribute][gpu_name] == value, (attribute, gpu_name)
+    print()
+    print(render_table1())

@@ -1,0 +1,29 @@
+"""Experiment T2 — Table II: the RTX 2080 Ti configuration.
+
+Regenerates the configuration listing and checks every paper value.
+"""
+
+from repro.eval.tables import render_table2, table2_rows
+
+
+def test_table2_matches_paper(benchmark):
+    rows = benchmark(table2_rows)
+    values = {row["parameter"]: row["value"] for row in rows}
+    assert values["# SMs"] == "68"
+    assert values["# Sub-Cores/SM"] == "4"
+    assert values["Warp Scheduler"] == "1x, GTO"
+    assert values["Exec Units"] == "INT:16x, SP:16x, DP:0.5x, SFU:4x"
+    assert values["LD/ST Units"] == "4x"
+    l1 = values["L1 in SM"]
+    for fragment in ("Sectored", "streaming", "write-through", "4 banks",
+                     "128 B/line", "32 B/sector", "256 MSHR entries",
+                     "8 maximum merge / MSHR", "LRU", "32 cycles"):
+        assert fragment in l1, fragment
+    l2 = values["L2 Cache"]
+    for fragment in ("Sectored", "write-back", "128B/line", "32B/sector",
+                     "192 MSHR entries", "4 maximum merge/MSHR", "LRU",
+                     "188 cycles"):
+        assert fragment in l2, fragment
+    assert values["Memory"] == "22 memory partitions, 227 cycles"
+    print()
+    print(render_table2())

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Diagnosing performance bottlenecks from gathered metrics.
+
+Paper §III-C: the Metrics Gatherer exists so architects can evaluate
+performance and "diagnose performance bottlenecks in applications".
+This example runs three applications with very different characters and
+prints the analyzer's verdict for each.
+
+Run:  python examples/bottleneck_analysis.py [scale]
+"""
+
+import sys
+
+from repro import SwiftSimBasic, get_preset, make_app
+from repro.eval.bottleneck import analyze
+
+APPS = ("gemm", "adi", "color")
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    gpu = get_preset("rtx2080ti")
+    for app_name in APPS:
+        app = make_app(app_name, scale=scale)
+        result = SwiftSimBasic(gpu).simulate(app)
+        report = analyze(result.metrics, gpu)
+        print(f"== {app.name} ({app.suite}) — {result.total_cycles} cycles, "
+              f"IPC {result.ipc:.2f}")
+        print(report.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

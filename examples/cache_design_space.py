@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""L1 cache design-space exploration.
+
+The paper's motivation (§II-B) notes that pure analytical cache models
+are locked to LRU by reuse-distance theory, while a simulated cache can
+sweep replacement policies and geometries freely.  This example sweeps
+L1 capacity and replacement policy with Swift-Sim-Basic (whose memory
+path simulates the real sectored caches) and reports cycles and L1 miss
+rates for a cache-sensitive stencil workload.
+
+Run:  python examples/cache_design_space.py [app] [scale]
+"""
+
+import sys
+
+from repro import SwiftSimBasic, get_preset, make_app
+
+L1_SIZES_KB = (16, 32, 64, 128)
+POLICIES = ("LRU", "FIFO", "RANDOM")
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "hotspot"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+    base_gpu = get_preset("rtx2080ti")
+    app = make_app(app_name, scale=scale)
+    print(f"L1 design space on {app.name!r} (scale={scale})\n")
+    print(f"{'L1 size':>8s} {'policy':>8s} {'cycles':>10s} {'L1 miss':>9s} {'vs 32K LRU':>11s}")
+
+    baseline_cycles = None
+    for size_kb in L1_SIZES_KB:
+        for policy in POLICIES:
+            gpu = base_gpu.with_l1(size_bytes=size_kb * 1024, replacement=policy)
+            result = SwiftSimBasic(gpu).simulate(app)
+            miss = result.metrics.l1_miss_rate() or 0.0
+            if baseline_cycles is None and size_kb == 32 and policy == "LRU":
+                baseline_cycles = result.total_cycles
+            delta = (
+                ""
+                if baseline_cycles is None
+                else f"{100 * (result.total_cycles - baseline_cycles) / baseline_cycles:+.1f}%"
+            )
+            print(
+                f"{size_kb:>6d}KB {policy:>8s} {result.total_cycles:>10d} "
+                f"{100 * miss:>8.1f}% {delta:>11s}"
+            )
+    print("\nBigger caches cut the miss rate and the cycle count; replacement")
+    print("policy effects are visible because the cache is simulated, not")
+    print("approximated analytically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one application on an RTX 2080 Ti with all three
+simulators and compare their predictions and speeds.
+
+Run:  python examples/quickstart.py [app] [scale]
+"""
+
+import sys
+
+from repro import AccelSimLike, SwiftSimBasic, SwiftSimMemory, get_preset, make_app
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "bfs"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+
+    gpu = get_preset("rtx2080ti")
+    app = make_app(app_name, scale=scale)
+    print(f"Application {app.name!r} ({app.suite}): {len(app.kernels)} kernels, "
+          f"{app.num_instructions} warp instructions")
+    print(f"GPU: {gpu.name} ({gpu.num_sms} SMs, {gpu.cuda_cores} CUDA cores)\n")
+
+    baseline_wall = None
+    for simulator_cls in (AccelSimLike, SwiftSimBasic, SwiftSimMemory):
+        simulator = simulator_cls(gpu)
+        result = simulator.simulate(app)
+        speedup = ""
+        if baseline_wall is None:
+            baseline_wall = result.wall_time_seconds
+        else:
+            speedup = f"  ({baseline_wall / result.wall_time_seconds:.1f}x vs baseline)"
+        print(f"{simulator.name:14s} {result.total_cycles:9d} cycles   "
+              f"IPC={result.ipc:5.2f}   {result.wall_time_seconds:6.2f}s wall{speedup}")
+        metrics = result.metrics
+        l1 = metrics.l1_miss_rate()
+        if l1 is not None:
+            print(f"{'':14s} L1 miss rate {100 * l1:.1f}%   "
+                  f"L2 miss rate {100 * (metrics.l2_miss_rate() or 0):.1f}%")
+    print("\nThe two Swift-Sim plans predict nearly the same cycle count as the")
+    print("fully cycle-accurate baseline while running several times faster —")
+    print("that is the paper's hybrid-modeling claim in one run.")
+
+
+if __name__ == "__main__":
+    main()

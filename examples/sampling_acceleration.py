@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Composing sampling with hybrid simulation (extension).
+
+The paper's related work treats sampling-based estimation as orthogonal
+to hybrid modeling — the two multiply.  This example runs
+Swift-Sim-Basic in full and wrapped in the block-sampling estimator, on
+a homogeneous app (where sampling is safe) and a heterogeneous one
+(where it degrades), printing the accuracy/speed trade.
+
+Run:  python examples/sampling_acceleration.py [scale]
+"""
+
+import sys
+
+from repro import SwiftSimBasic, get_preset, make_app
+from repro.simulators.sampled import SampledSimulator
+
+APPS = ("sm", "lu")
+RATES = (2, 4)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    gpu = get_preset("rtx2080ti")
+    for app_name in APPS:
+        app = make_app(app_name, scale=scale)
+        full = SwiftSimBasic(gpu).simulate(app, gather_metrics=False)
+        print(f"== {app.name}: full simulation {full.total_cycles} cycles "
+              f"in {full.wall_time_seconds:.2f}s")
+        for rate in RATES:
+            sampled = SampledSimulator(SwiftSimBasic(gpu), rate=rate, min_blocks=4)
+            estimate = sampled.simulate(app)
+            error = 100.0 * (estimate.total_cycles - full.total_cycles) / full.total_cycles
+            speedup = full.wall_time_seconds / max(estimate.wall_time_seconds, 1e-9)
+            print(f"   1/{rate} blocks: {estimate.total_cycles:8d} cycles "
+                  f"({error:+5.1f}%), {speedup:.1f}x faster")
+        print()
+    print("Homogeneous kernels sample safely; tapering kernels (LU) drift —")
+    print("the trade the sampling literature documents, now measurable here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the environment has no `wheel` package, so editable
+installs must go through setuptools' setup.py path (all metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""Swift-Sim: a modular and hybrid GPU architecture simulation framework.
+
+Reproduction of Xu et al., DATE 2025.  The public API re-exports the
+pieces a downstream user needs: GPU configuration presets, trace loading
+and synthetic workload generation, the three assembled simulators, the
+modeling-plan machinery for building custom hybrids, and the evaluation
+harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro import SwiftSimBasic, get_preset, make_app
+
+    gpu = get_preset("rtx2080ti")
+    app = make_app("bfs", scale="tiny")
+    result = SwiftSimBasic(gpu).simulate(app)
+    print(result.total_cycles, result.ipc)
+"""
+
+from repro.errors import (
+    ConfigError,
+    PlanError,
+    SimulationError,
+    SwiftSimError,
+    TraceError,
+    WorkloadError,
+)
+from repro.frontend import (
+    ApplicationTrace,
+    GPUConfig,
+    GPU_PRESETS,
+    KernelTrace,
+    TraceInstruction,
+    WarpTrace,
+    get_preset,
+    load_gpu_config,
+    load_trace,
+    save_gpu_config,
+    save_trace,
+)
+from repro.sim.plan import (
+    ACCEL_LIKE_PLAN,
+    SWIFT_BASIC_PLAN,
+    SWIFT_MEMORY_PLAN,
+    ModelingPlan,
+)
+from repro.simulators import (
+    AccelSimLike,
+    GPUSimulator,
+    IntervalSimulator,
+    PlanSimulator,
+    SampledSimulator,
+    SimulationResult,
+    SwiftSimBasic,
+    SwiftSimMemory,
+    simulate_apps_parallel,
+)
+from repro.tracegen import APPLICATIONS, make_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACCEL_LIKE_PLAN",
+    "APPLICATIONS",
+    "AccelSimLike",
+    "ApplicationTrace",
+    "ConfigError",
+    "GPUConfig",
+    "GPU_PRESETS",
+    "GPUSimulator",
+    "IntervalSimulator",
+    "KernelTrace",
+    "ModelingPlan",
+    "PlanError",
+    "PlanSimulator",
+    "SampledSimulator",
+    "SWIFT_BASIC_PLAN",
+    "SWIFT_MEMORY_PLAN",
+    "SimulationError",
+    "SimulationResult",
+    "SwiftSimBasic",
+    "SwiftSimError",
+    "SwiftSimMemory",
+    "TraceError",
+    "TraceInstruction",
+    "WarpTrace",
+    "WorkloadError",
+    "get_preset",
+    "load_gpu_config",
+    "load_trace",
+    "make_app",
+    "save_gpu_config",
+    "save_trace",
+    "simulate_apps_parallel",
+]

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Everything a downstream user needs without writing Python::
+
+    python -m repro apps                          # list applications
+    python -m repro presets                       # list GPU presets
+    python -m repro tables                        # Tables I and II
+    python -m repro simulate --app bfs --simulator swift-basic
+    python -m repro compare  --app gemm --scale small
+    python -m repro trace    --app nw --out nw.trace
+    python -m repro figure4  --apps bfs,gemm --scale tiny
+    python -m repro figure5  --apps bfs,gemm --workers 4
+    python -m repro figure6  --apps bfs,gemm
+
+All commands return a process exit code of 0 on success; configuration
+or workload errors print a one-line message and return 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.errors import SwiftSimError
+from repro.eval.figures import figure4, figure5, figure6
+from repro.eval.tables import render_table1, render_table2
+from repro.frontend.config_io import load_gpu_config
+from repro.frontend.presets import GPU_PRESETS, get_preset
+from repro.frontend.trace_io import load_trace, save_trace
+from repro.oracle.hardware import HardwareOracle
+from repro.simulators.accel_like import AccelSimLike
+from repro.simulators.interval import IntervalSimulator
+from repro.simulators.swift_basic import SwiftSimBasic
+from repro.simulators.swift_memory import SwiftSimMemory
+from repro.tracegen.suites import APPLICATIONS, app_names, make_app
+
+SIMULATORS: Dict[str, type] = {
+    "accel-like": AccelSimLike,
+    "swift-basic": SwiftSimBasic,
+    "swift-memory": SwiftSimMemory,
+    "interval": IntervalSimulator,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Swift-Sim: modular and hybrid GPU architecture simulation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("apps", help="list the synthetic benchmark applications")
+    commands.add_parser("presets", help="list the GPU configuration presets")
+    commands.add_parser("tables", help="print Tables I and II")
+
+    def add_common(sub, with_simulator=True):
+        sub.add_argument("--app", help="application name (see `repro apps`)")
+        sub.add_argument("--trace", help="path to a trace file (instead of --app)")
+        sub.add_argument("--gpu", default="rtx2080ti", help="GPU preset name")
+        sub.add_argument("--config", help="path to a GPU config JSON (instead of --gpu)")
+        sub.add_argument("--scale", default="small", help="workload scale for --app")
+        if with_simulator:
+            sub.add_argument(
+                "--simulator",
+                default="swift-basic",
+                choices=sorted(SIMULATORS),
+                help="which assembled simulator to run",
+            )
+
+    simulate = commands.add_parser("simulate", help="simulate one application")
+    add_common(simulate)
+    simulate.add_argument("--metrics", action="store_true", help="print the counter report")
+
+    compare = commands.add_parser(
+        "compare", help="run all three simulators plus the hardware oracle"
+    )
+    add_common(compare, with_simulator=False)
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="simulate and print a bottleneck analysis"
+    )
+    add_common(analyze_cmd)
+
+    trace = commands.add_parser("trace", help="generate and save a trace file")
+    trace.add_argument("--app", required=True)
+    trace.add_argument("--scale", default="small")
+    trace.add_argument("--out", required=True, help="output trace path")
+
+    report = commands.add_parser(
+        "report", help="run every experiment and write the Markdown report"
+    )
+    report.add_argument("--scale", default="small")
+    report.add_argument("--apps", help="comma-separated application subset")
+    report.add_argument("--workers", type=int, default=None)
+    report.add_argument("--out", help="output path (default: stdout)")
+
+    for name, help_text in (
+        ("figure4", "per-app error and speedup on the RTX 2080 Ti"),
+        ("figure5", "speedup contribution analysis"),
+        ("figure6", "cross-GPU prediction errors"),
+    ):
+        fig = commands.add_parser(name, help=help_text)
+        fig.add_argument("--scale", default="small")
+        fig.add_argument("--apps", help="comma-separated application subset")
+        if name == "figure5":
+            fig.add_argument("--workers", type=int, default=None)
+    return parser
+
+
+def _resolve_gpu(args):
+    if getattr(args, "config", None):
+        return load_gpu_config(args.config)
+    return get_preset(args.gpu)
+
+
+def _resolve_app(args):
+    if getattr(args, "trace", None):
+        return load_trace(args.trace)
+    if not getattr(args, "app", None):
+        raise SwiftSimError("either --app or --trace is required")
+    return make_app(args.app, scale=args.scale)
+
+
+def _apps_arg(args) -> Optional[List[str]]:
+    if not getattr(args, "apps", None):
+        return None
+    return [name.strip() for name in args.apps.split(",") if name.strip()]
+
+
+def _cmd_apps(args) -> None:
+    print(f"{'app':12s} {'suite':10s}")
+    for name in app_names():
+        suite, __ = APPLICATIONS[name]
+        print(f"{name:12s} {suite:10s}")
+
+
+def _cmd_presets(args) -> None:
+    for key, preset in GPU_PRESETS.items():
+        print(
+            f"{key:10s} {preset.name:12s} {preset.architecture:7s} "
+            f"{preset.num_sms:3d} SMs, {preset.cuda_cores:5d} cores, "
+            f"L2 {preset.l2.size_bytes // 1024} KiB, "
+            f"{preset.memory_partitions} partitions"
+        )
+
+
+def _cmd_tables(args) -> None:
+    print(render_table1())
+    print()
+    print(render_table2())
+
+
+def _cmd_simulate(args) -> None:
+    gpu = _resolve_gpu(args)
+    app = _resolve_app(args)
+    simulator = SIMULATORS[args.simulator](gpu)
+    result = simulator.simulate(app)
+    print(f"app        : {app.name} ({app.suite}), {len(app.kernels)} kernels, "
+          f"{app.num_instructions} warp instructions")
+    print(f"gpu        : {gpu.name}")
+    print(f"simulator  : {result.simulator_name}")
+    print(f"cycles     : {result.total_cycles}")
+    print(f"ipc        : {result.ipc:.3f}")
+    print(f"wall time  : {result.wall_time_seconds:.3f}s "
+          f"(+{result.profile_seconds:.3f}s profiling)")
+    for kernel in result.kernels:
+        print(f"  kernel {kernel.name:24s} {kernel.cycles:10d} cycles")
+    metrics = result.metrics
+    if metrics is None:
+        return  # analytical simulators have no counters to report
+    l1 = metrics.l1_miss_rate()
+    if l1 is not None:
+        print(f"l1 miss    : {100 * l1:.1f}%")
+        l2 = metrics.l2_miss_rate()
+        if l2 is not None:
+            print(f"l2 miss    : {100 * l2:.1f}%")
+    if args.metrics:
+        for module in metrics.modules():
+            for counter, value in sorted(metrics.per_module[module].items()):
+                print(f"  {module}.{counter} = {value}")
+
+
+def _cmd_compare(args) -> None:
+    gpu = _resolve_gpu(args)
+    app = _resolve_app(args)
+    oracle_cycles = HardwareOracle(gpu).measure(app)
+    print(f"{app.name} on {gpu.name}: hardware oracle = {oracle_cycles} cycles")
+    print(f"{'simulator':14s} {'cycles':>10s} {'error':>8s} {'wall':>8s} {'speedup':>8s}")
+    baseline_wall = None
+    for name, simulator_cls in SIMULATORS.items():
+        result = simulator_cls(gpu).simulate(app, gather_metrics=False)
+        error = 100.0 * abs(result.total_cycles - oracle_cycles) / oracle_cycles
+        if baseline_wall is None:
+            baseline_wall = result.wall_time_seconds
+        speedup = baseline_wall / result.wall_time_seconds
+        print(f"{name:14s} {result.total_cycles:>10d} {error:>7.1f}% "
+              f"{result.wall_time_seconds:>7.2f}s {speedup:>7.1f}x")
+
+
+def _cmd_analyze(args) -> None:
+    from repro.eval.bottleneck import analyze as analyze_metrics
+
+    gpu = _resolve_gpu(args)
+    app = _resolve_app(args)
+    simulator = SIMULATORS[args.simulator](gpu)
+    result = simulator.simulate(app)
+    print(f"{app.name} on {gpu.name} via {result.simulator_name}: "
+          f"{result.total_cycles} cycles, IPC {result.ipc:.3f}")
+    print(analyze_metrics(result.metrics, gpu).render())
+
+
+def _cmd_report(args) -> None:
+    from repro.eval.report import generate_report
+
+    text = generate_report(
+        scale=args.scale, apps=_apps_arg(args), workers=args.workers
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+
+
+def _cmd_trace(args) -> None:
+    app = make_app(args.app, scale=args.scale)
+    save_trace(app, args.out)
+    print(f"wrote {app.num_instructions} warp instructions to {args.out}")
+
+
+def _cmd_figure4(args) -> None:
+    data = figure4(scale=args.scale, apps=_apps_arg(args))
+    print(data.render())
+    print()
+    print(data.render_chart())
+
+
+def _cmd_figure5(args) -> None:
+    print(figure5(scale=args.scale, apps=_apps_arg(args), workers=args.workers).render())
+
+
+def _cmd_figure6(args) -> None:
+    print(figure6(scale=args.scale, apps=_apps_arg(args)).render())
+
+
+_COMMANDS = {
+    "apps": _cmd_apps,
+    "presets": _cmd_presets,
+    "tables": _cmd_tables,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "analyze": _cmd_analyze,
+    "report": _cmd_report,
+    "trace": _cmd_trace,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "figure6": _cmd_figure6,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        _COMMANDS[args.command](args)
+    except SwiftSimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""SM-core modeling: block scheduler, warp scheduler & dispatch, execution
+units (cycle-accurate and hybrid), LD/ST units, and the sub-core/SM
+assemblies that tie them together behind the framework's fixed interfaces.
+"""
+
+from repro.core.block_scheduler import BlockScheduler
+from repro.core.execution_unit import PipelinedExecutionUnit, ResultBus
+from repro.core.alu_analytical import HybridALUModel
+from repro.core.scoreboard import Scoreboard
+from repro.core.sm import SMCore
+from repro.core.subcore import SubCore
+from repro.core.warp import BlockRuntime, WarpState, WarpStatus
+from repro.core.warp_scheduler import (
+    GTOScheduler,
+    LRRScheduler,
+    TwoLevelScheduler,
+    make_warp_scheduler,
+)
+
+__all__ = [
+    "BlockRuntime",
+    "BlockScheduler",
+    "GTOScheduler",
+    "HybridALUModel",
+    "LRRScheduler",
+    "PipelinedExecutionUnit",
+    "ResultBus",
+    "Scoreboard",
+    "SMCore",
+    "SubCore",
+    "TwoLevelScheduler",
+    "WarpState",
+    "WarpStatus",
+    "make_warp_scheduler",
+]

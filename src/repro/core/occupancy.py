@@ -1,0 +1,44 @@
+"""Occupancy arithmetic shared by the analytical estimators.
+
+How many copies of a thread block fit on one SM (and on the whole GPU)
+under the Table II resource limits — the quantity that converts block
+counts into launch *waves*.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.frontend.config import GPUConfig
+from repro.frontend.trace import BlockTrace
+from repro.utils.bitops import ceil_div
+
+
+def blocks_per_sm(config: GPUConfig, block: BlockTrace) -> int:
+    """Simultaneous copies of ``block`` one SM can host."""
+    sm = config.sm
+    limits = [
+        sm.max_blocks,
+        sm.max_warps // len(block.warps),
+        sm.max_threads // block.num_threads,
+        sm.registers // max(1, block.regs_per_thread * block.num_threads),
+    ]
+    if block.shared_mem_bytes:
+        limits.append(sm.shared_mem_bytes // block.shared_mem_bytes)
+    fit = min(limits)
+    if fit < 1:
+        raise SimulationError(
+            f"block {block.block_id} does not fit an empty SM "
+            f"(warps={len(block.warps)}, threads={block.num_threads}, "
+            f"smem={block.shared_mem_bytes}, regs/thread={block.regs_per_thread})"
+        )
+    return fit
+
+
+def concurrent_blocks(config: GPUConfig, block: BlockTrace) -> int:
+    """Blocks the whole GPU runs simultaneously."""
+    return blocks_per_sm(config, block) * config.num_sms
+
+
+def launch_waves(config: GPUConfig, block: BlockTrace, num_blocks: int) -> int:
+    """Occupancy-limited launch waves needed for ``num_blocks`` blocks."""
+    return ceil_div(num_blocks, concurrent_blocks(config, block))

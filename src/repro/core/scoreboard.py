@@ -1,0 +1,105 @@
+"""Per-warp register scoreboard.
+
+Tracks which destination registers have writes in flight.  An
+instruction may issue when none of its source registers (RAW) or
+destination registers (WAW) are pending.  Two retirement styles serve
+the two sink contracts:
+
+* reservation sinks supply the completion cycle at issue, so the
+  scoreboard can answer "when will this instruction become issuable?" —
+  the query that powers exact clock jumping;
+* callback sinks reserve with ``None`` and later call :meth:`release`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.frontend.trace import TraceInstruction
+
+#: Release cycle recorded for callback-retired registers.
+_UNRESOLVED = 1 << 62
+
+
+class Scoreboard:
+    """Pending destination-register tracking for one warp."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def pending_regs(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._pending))
+
+    def can_issue(self, inst: TraceInstruction, cycle: int) -> bool:
+        """True when no RAW/WAW hazard blocks ``inst`` at ``cycle``."""
+        pending = self._pending
+        if not pending:
+            return True
+        for reg in inst.src_regs:
+            release = pending.get(reg)
+            if release is not None and release > cycle:
+                return False
+        for reg in inst.dest_regs:
+            release = pending.get(reg)
+            if release is not None and release > cycle:
+                return False
+        return True
+
+    def ready_cycle(self, inst: TraceInstruction) -> Optional[int]:
+        """Earliest cycle ``inst`` clears its hazards.
+
+        Returns ``None`` when a blocking register awaits a callback (the
+        caller must wait to be woken rather than scheduling a retry).
+        """
+        pending = self._pending
+        if not pending:
+            return 0
+        latest = 0
+        for reg in (*inst.src_regs, *inst.dest_regs):
+            release = pending.get(reg)
+            if release is None:
+                continue
+            if release >= _UNRESOLVED:
+                return None
+            if release > latest:
+                latest = release
+        return latest
+
+    def reserve(self, regs: Iterable[int], completion_cycle: Optional[int]) -> None:
+        """Mark ``regs`` pending until ``completion_cycle`` (None = callback)."""
+        release = _UNRESOLVED if completion_cycle is None else completion_cycle
+        pending = self._pending
+        for reg in regs:
+            pending[reg] = release
+
+    def release(self, regs: Iterable[int]) -> None:
+        """Callback retirement of ``regs``."""
+        pending = self._pending
+        for reg in regs:
+            if pending.pop(reg, None) is None:
+                raise SimulationError(f"released register r{reg} was not pending")
+
+    def expire(self, cycle: int) -> None:
+        """Drop reservation-mode entries whose release cycle has passed."""
+        pending = self._pending
+        if not pending:
+            return
+        expired = [reg for reg, release in pending.items() if release <= cycle]
+        for reg in expired:
+            del pending[reg]
+
+    def all_clear_cycle(self) -> Optional[int]:
+        """Cycle at which every pending write retires (None = callbacks out)."""
+        pending = self._pending
+        if not pending:
+            return 0
+        latest = max(pending.values())
+        if latest >= _UNRESOLVED:
+            return None
+        return latest

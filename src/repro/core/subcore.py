@@ -1,0 +1,266 @@
+"""One sub-core: Warp Scheduler & Dispatch plus its execution resources.
+
+The sub-core owns the per-cycle issue loop the paper keeps cycle-accurate
+in both working examples.  Each tick it
+
+1. drains writebacks of any per-cycle pipelined units,
+2. collects the issuable resident warps (front-end visibility, barrier
+   and drain gating, scoreboard hazards),
+3. lets the scheduling policy order them and dispatches up to
+   ``issue_width`` instructions into the units' fixed interfaces.
+
+Because every sink either resolves the completion cycle at issue or
+promises a callback, the same loop drives the fully cycle-accurate
+baseline and both hybrid simulators — only the plugged-in modules differ.
+The tick returns the earliest cycle at which anything here can change,
+enabling exact clock jumps under the hybrid plans.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.execution_unit import PipelinedExecutionUnit
+from repro.core.fetch import FrontEnd
+from repro.core.operand_collector import OperandCollector
+from repro.core.warp import NEVER, WarpState, WarpStatus
+from repro.core.warp_scheduler import WarpSchedulerPolicy
+from repro.errors import SimulationError
+from repro.frontend.config import SMConfig
+from repro.frontend.isa import InstKind, MemSpace, UnitClass
+from repro.frontend.trace import TraceInstruction
+from repro.sim.module import ModelLevel, Module
+from repro.sim.ports import PENDING, CompletionListener, InstructionSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sm import SMCore
+
+#: Fixed latencies for scheduler-internal instruction kinds.
+BRANCH_LATENCY = 2
+MEMBAR_LATENCY = 1
+
+
+class SubCore(Module, CompletionListener):
+    """Warp Scheduler & Dispatch for one sub-core."""
+
+    component = "warp_scheduler"
+    level = ModelLevel.CYCLE_ACCURATE
+
+    def __init__(
+        self,
+        sm: "SMCore",
+        sub_id: int,
+        sm_config: SMConfig,
+        policy: WarpSchedulerPolicy,
+        exec_unit_factory: Callable[["SubCore", object], InstructionSink],
+        ldst_factory: Callable[["SubCore"], InstructionSink],
+        shared_factory: Callable[["SubCore"], InstructionSink],
+        use_frontend: bool = False,
+        use_collector: bool = False,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or f"subcore{sub_id}")
+        self.sm = sm
+        self.sub_id = sub_id
+        self.sm_config = sm_config
+        self.policy = policy
+        # Factories receive this sub-core so cycle-accurate sinks can use it
+        # as their completion listener (two-phase wiring).
+        self.exec_units: Dict[UnitClass, InstructionSink] = {
+            unit_config.unit: exec_unit_factory(self, unit_config)
+            for unit_config in sm_config.exec_units
+        }
+        self.ldst_unit = ldst_factory(self)
+        self.shared_unit = shared_factory(self)
+        self.frontend = FrontEnd(sm_config) if use_frontend else None
+        self.collector = OperandCollector(sm_config) if use_collector else None
+        self.warps: List[WarpState] = []
+        seen = set()
+        for module in (
+            *self.exec_units.values(),
+            self.ldst_unit,
+            self.shared_unit,
+            self.frontend,
+            self.collector,
+        ):
+            # Shared-per-SM sinks appear in several sub-cores: attach each
+            # module to the tree exactly once (the first sub-core wins).
+            if isinstance(module, Module) and id(module) not in seen and not getattr(module, "_owned", False):
+                seen.add(id(module))
+                module._owned = True
+                self.add_child(module)
+
+    def reset(self) -> None:
+        super().reset()
+        self.warps.clear()
+        self.policy.reset()
+
+    # ------------------------------------------------------------------
+    # residency
+
+    def adopt(self, warp: WarpState, cycle: int) -> None:
+        """A newly scheduled block placed one of its warps here."""
+        self.warps.append(warp)
+        if self.frontend is not None:
+            self.frontend.warp_arrived(warp, cycle)
+
+    def remove_block_warps(self, block) -> None:
+        self.warps = [warp for warp in self.warps if warp.block is not block]
+
+    @property
+    def resident_warps(self) -> int:
+        return len(self.warps)
+
+    # ------------------------------------------------------------------
+    # completion callbacks (PENDING sinks)
+
+    def on_complete(self, warp: WarpState, inst: TraceInstruction, cycle: int) -> None:
+        if inst.dest_regs:
+            warp.scoreboard.release(inst.dest_regs)
+        warp.retire_inflight()
+        self.sm.request_wake(cycle + 1)
+
+    # ------------------------------------------------------------------
+    # the issue loop
+
+    def tick(self, cycle: int) -> int:
+        """Run one scheduler cycle; return the next interesting cycle."""
+        wake = NEVER
+        for unit in self.exec_units.values():
+            if isinstance(unit, PipelinedExecutionUnit):
+                unit.tick(cycle)
+                if unit.busy:
+                    wake = cycle + 1
+        frontend = self.frontend
+        if frontend is not None:
+            frontend.tick(cycle, self.warps)
+        candidates: List[WarpState] = []
+        for warp in self.warps:
+            if warp.status is WarpStatus.DONE:
+                continue
+            if warp.status is WarpStatus.AT_BARRIER:
+                continue  # released by the last arriving warp
+            if warp.ready_cycle > cycle:
+                if warp.ready_cycle < wake:
+                    wake = warp.ready_cycle
+                continue
+            if frontend is not None and not frontend.instruction_visible(warp, cycle):
+                visible_at = frontend.next_visible_cycle(warp)
+                if visible_at <= cycle:
+                    visible_at = cycle + 1
+                if visible_at < wake:
+                    wake = visible_at
+                continue
+            inst = warp.trace.instructions[warp.pc_index]
+            kind = inst.kind
+            if kind in (InstKind.BARRIER, InstKind.MEMBAR, InstKind.EXIT):
+                # Synchronizing kinds wait for the warp to drain.
+                if not warp.drained(cycle):
+                    drain = warp.drain_cycle()
+                    if drain is None:
+                        self.counters.add("drain_wait_cycles")
+                    elif drain < wake:
+                        wake = drain
+                    continue
+            else:
+                ready = warp.scoreboard.ready_cycle(inst)
+                if ready is None:
+                    self.counters.add("scoreboard_wait_cycles")
+                    continue  # a callback will wake the SM
+                if ready > cycle:
+                    if ready < wake:
+                        wake = ready
+                    continue
+            candidates.append(warp)
+        if not candidates:
+            if self.warps:
+                self.counters.add("idle_cycles")
+            return wake
+        issued = 0
+        for warp in self.policy.order(candidates, cycle):
+            if issued >= self.sm_config.issue_width:
+                break
+            accepted, retry = self._dispatch(warp, cycle)
+            if accepted:
+                issued += 1
+                self.policy.issued(warp, cycle)
+            elif retry is not None and retry < wake:
+                wake = max(retry, cycle + 1)
+        if issued:
+            self.counters.add("instructions_committed", issued)
+            wake = cycle + 1
+        else:
+            self.counters.add("stalled_cycles")
+        return wake
+
+    def _dispatch(self, warp: WarpState, cycle: int):
+        """Try to issue the warp's next instruction.
+
+        Returns ``(accepted, retry_cycle)``; ``retry_cycle`` hints when a
+        rejected structural hazard may clear.
+        """
+        inst = warp.trace.instructions[warp.pc_index]
+        kind = inst.kind
+        if kind is InstKind.BARRIER:
+            self._finish_issue(warp, cycle)
+            warp.block.barrier_arrive(warp, cycle)
+            self.counters.add("barriers")
+            return True, None
+        if kind is InstKind.EXIT:
+            self._finish_issue(warp, cycle)
+            warp.status = WarpStatus.DONE
+            self.sm.warp_finished(warp, cycle)
+            return True, None
+        if kind is InstKind.MEMBAR:
+            completion = cycle + MEMBAR_LATENCY
+            self._book(warp, inst, completion)
+            self._finish_issue(warp, cycle)
+            return True, None
+        if kind is InstKind.BRANCH:
+            completion = cycle + BRANCH_LATENCY
+            self._book(warp, inst, completion)
+            self._finish_issue(warp, cycle)
+            return True, None
+        sink = self._sink_for(inst)
+        if self.collector is not None and inst.src_regs:
+            collect_done = self.collector.try_collect(inst, cycle)
+            if collect_done is None:
+                return False, self.collector.earliest_free()
+        result = sink.try_issue(warp, inst, cycle)
+        if result is None:
+            port_free = getattr(sink, "port_free_cycle", None)
+            return False, port_free
+        if result is PENDING:
+            self._book(warp, inst, None)
+        else:
+            self._book(warp, inst, result)
+        self._finish_issue(warp, cycle)
+        return True, None
+
+    def _sink_for(self, inst: TraceInstruction) -> InstructionSink:
+        if inst.is_memory:
+            if inst.mem_space is MemSpace.SHARED:
+                return self.shared_unit
+            return self.ldst_unit
+        try:
+            return self.exec_units[inst.unit]
+        except KeyError:
+            raise SimulationError(
+                f"sub-core has no sink for unit {inst.unit.value}"
+            ) from None
+
+    def _book(self, warp: WarpState, inst: TraceInstruction, completion: Optional[int]) -> None:
+        """Record scoreboard and in-flight state for an accepted instruction."""
+        if inst.dest_regs:
+            warp.scoreboard.reserve(inst.dest_regs, completion)
+        warp.note_inflight(completion)
+        if completion is not None:
+            self.sm.note_completion(completion)
+
+    def _finish_issue(self, warp: WarpState, cycle: int) -> None:
+        inst_kind = warp.trace.instructions[warp.pc_index].kind
+        warp.advance()
+        warp.ready_cycle = cycle + 1
+        warp.last_issue_cycle = cycle
+        if self.frontend is not None:
+            self.frontend.on_issue(warp, cycle, inst_kind)

@@ -1,0 +1,164 @@
+"""Warp scheduling policies (Warp Scheduler & Dispatch).
+
+The scheduler is the component the paper's working example keeps
+cycle-accurate ("assuming we need to explore a new warp scheduling
+algorithm", §III-D) — so the policy is a first-class pluggable object
+that orders the candidate warps each cycle.  GTO (the Table II default),
+loose round-robin, and a two-level scheduler are provided; new policies
+subclass :class:`WarpSchedulerPolicy` and are exercised by the
+``warp_scheduler_exploration`` example.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional
+
+from repro.core.warp import WarpState
+from repro.errors import ConfigError
+
+
+class WarpSchedulerPolicy(ABC):
+    """Orders issuable warps for one sub-core scheduler."""
+
+    #: Registry key (subclasses set this).
+    policy_name = ""
+
+    @abstractmethod
+    def order(self, candidates: List[WarpState], cycle: int) -> Iterable[WarpState]:
+        """Yield ``candidates`` in decreasing issue priority.
+
+        The sub-core passes ``candidates`` in ascending ``age`` order
+        (oldest first); policies may rely on this.
+        """
+
+    def issued(self, warp: WarpState, cycle: int) -> None:
+        """Feedback hook: ``warp`` won issue at ``cycle``."""
+
+    def reset(self) -> None:
+        """Clear any internal state between kernels."""
+
+
+class GTOScheduler(WarpSchedulerPolicy):
+    """Greedy-then-oldest: keep issuing the same warp; on a stall fall back
+    to the oldest ready warp (the default on the modeled GPUs)."""
+
+    policy_name = "GTO"
+
+    def __init__(self) -> None:
+        self._greedy_slot: Optional[int] = None
+
+    def order(self, candidates: List[WarpState], cycle: int) -> Iterable[WarpState]:
+        greedy = self._greedy_slot
+        if greedy is not None:
+            for warp in candidates:
+                if warp.slot == greedy:
+                    yield warp
+                    break
+        # Candidates already arrive oldest-first.
+        for warp in candidates:
+            if warp.slot != greedy:
+                yield warp
+
+    def issued(self, warp: WarpState, cycle: int) -> None:
+        self._greedy_slot = warp.slot
+
+    def reset(self) -> None:
+        self._greedy_slot = None
+
+
+class LRRScheduler(WarpSchedulerPolicy):
+    """Loose round-robin: rotate priority starting after the last issuer."""
+
+    policy_name = "LRR"
+
+    def __init__(self) -> None:
+        self._last_slot = -1
+
+    def order(self, candidates: List[WarpState], cycle: int) -> Iterable[WarpState]:
+        ordered = sorted(candidates, key=lambda w: w.slot)
+        pivot = self._last_slot
+        return [w for w in ordered if w.slot > pivot] + [
+            w for w in ordered if w.slot <= pivot
+        ]
+
+    def issued(self, warp: WarpState, cycle: int) -> None:
+        self._last_slot = warp.slot
+
+    def reset(self) -> None:
+        self._last_slot = -1
+
+
+class TwoLevelScheduler(WarpSchedulerPolicy):
+    """Two-level scheduling: a small active pool issues round-robin; warps
+    that stall rotate out in favour of pending warps, hiding long latencies
+    with a cheaper selection loop."""
+
+    policy_name = "TWO_LEVEL"
+
+    def __init__(self, active_pool_size: int = 8) -> None:
+        if active_pool_size < 1:
+            raise ConfigError("active pool must hold at least one warp")
+        self.active_pool_size = active_pool_size
+        self._active: List[int] = []
+        self._last_slot = -1
+
+    def order(self, candidates: List[WarpState], cycle: int) -> Iterable[WarpState]:
+        by_slot = {warp.slot: warp for warp in candidates}
+        # Demote active warps that are no longer candidates, promote the
+        # oldest pending candidates to fill the pool.
+        self._active = [slot for slot in self._active if slot in by_slot]
+        if len(self._active) < self.active_pool_size:
+            for warp in sorted(candidates, key=lambda w: w.age):
+                if warp.slot not in self._active:
+                    self._active.append(warp.slot)
+                    if len(self._active) == self.active_pool_size:
+                        break
+        pool = [by_slot[slot] for slot in self._active]
+        ordered = sorted(pool, key=lambda w: w.slot)
+        pivot = self._last_slot
+        return [w for w in ordered if w.slot > pivot] + [
+            w for w in ordered if w.slot <= pivot
+        ]
+
+    def issued(self, warp: WarpState, cycle: int) -> None:
+        self._last_slot = warp.slot
+
+    def reset(self) -> None:
+        self._active.clear()
+        self._last_slot = -1
+
+
+_POLICIES = {
+    GTOScheduler.policy_name: GTOScheduler,
+    LRRScheduler.policy_name: LRRScheduler,
+    TwoLevelScheduler.policy_name: TwoLevelScheduler,
+}
+
+
+def make_warp_scheduler(policy: str) -> WarpSchedulerPolicy:
+    """Instantiate a scheduling policy by configuration name."""
+    try:
+        factory = _POLICIES[policy.upper()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown warp scheduler policy {policy!r}; known: {sorted(_POLICIES)}"
+        ) from None
+    return factory()
+
+
+def register_policy(cls) -> type:
+    """Register a custom policy class (decorator) for config-name lookup.
+
+    Also teaches the configuration validator the new name, so a
+    :class:`~repro.frontend.config.SMConfig` can select it.
+    """
+    if not cls.policy_name:
+        raise ConfigError("policy class must set policy_name")
+    name = cls.policy_name.upper()
+    _POLICIES[name] = cls
+    from repro.frontend.config import SCHEDULER_POLICIES
+
+    if name not in SCHEDULER_POLICIES:
+        SCHEDULER_POLICIES.append(name)
+    return cls

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the Swift-Sim reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`SwiftSimError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class SwiftSimError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(SwiftSimError):
+    """A hardware configuration is inconsistent or cannot be parsed."""
+
+
+class TraceError(SwiftSimError):
+    """An application trace is malformed or violates trace invariants."""
+
+
+class PlanError(SwiftSimError):
+    """A :class:`repro.sim.plan.ModelingPlan` cannot be assembled."""
+
+
+class SimulationError(SwiftSimError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class WorkloadError(SwiftSimError):
+    """A synthetic workload specification is invalid."""

@@ -1,0 +1,29 @@
+"""Evaluation harness: regenerates the paper's tables and figures.
+
+* :mod:`repro.eval.harness` — runs suites of applications through the
+  simulators and the hardware oracle, collecting errors and speedups.
+* :mod:`repro.eval.tables` — Table I (GPU comparison) and Table II
+  (RTX 2080 Ti configuration).
+* :mod:`repro.eval.figures` — Figure 4 (per-app error + speedup),
+  Figure 5 (speedup contribution analysis), Figure 6 (cross-GPU errors).
+"""
+
+from repro.eval.bottleneck import BottleneckReport, analyze
+from repro.eval.harness import AppEvaluation, EvaluationHarness, SuiteEvaluation
+from repro.eval.report import generate_report
+from repro.eval.figures import figure4, figure5, figure6
+from repro.eval.tables import render_table1, render_table2
+
+__all__ = [
+    "AppEvaluation",
+    "BottleneckReport",
+    "analyze",
+    "generate_report",
+    "EvaluationHarness",
+    "SuiteEvaluation",
+    "figure4",
+    "figure5",
+    "figure6",
+    "render_table1",
+    "render_table2",
+]

@@ -1,0 +1,98 @@
+"""Terminal bar charts for the regenerated figures.
+
+The paper's figures are bar charts with a speedup scatter; these helpers
+render equivalent views in plain text so the benchmark output is
+readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence
+
+from repro.errors import SwiftSimError
+
+#: Glyphs for grouped series, cycled in order.
+_SERIES_GLYPHS = "#*o+x%"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of label -> value."""
+    if not values:
+        raise SwiftSimError("cannot chart an empty mapping")
+    if width < 1:
+        raise SwiftSimError("chart width must be positive")
+    peak = max(values.values())
+    if peak < 0:
+        raise SwiftSimError("bar charts need non-negative values")
+    label_width = max(len(label) for label in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        filled = 0 if peak == 0 else round(width * value / peak)
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+    series_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Grouped horizontal bars: {group: {series: value}} (Figure 4 style)."""
+    if not groups:
+        raise SwiftSimError("cannot chart empty groups")
+    first = next(iter(groups.values()))
+    series = list(series_order) if series_order else list(first)
+    peak = max(
+        (entry.get(name, 0.0) for entry in groups.values() for name in series),
+        default=0.0,
+    )
+    label_width = max(len(label) for label in groups)
+    glyph_of = {name: _SERIES_GLYPHS[i % len(_SERIES_GLYPHS)] for i, name in enumerate(series)}
+    lines: List[str] = [title] if title else []
+    legend = "  ".join(f"{glyph_of[name]}={name}" for name in series)
+    lines.append(f"[{legend}]")
+    for group_label, entry in groups.items():
+        for index, name in enumerate(series):
+            value = entry.get(name, 0.0)
+            filled = 0 if peak == 0 else round(width * value / peak)
+            bar = glyph_of[name] * filled
+            prefix = group_label.ljust(label_width) if index == 0 else " " * label_width
+            lines.append(f"{prefix} |{bar.ljust(width)}| {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def log_scatter(
+    points: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """One-line-per-point log-scale position chart (Figure 4's speedup
+    scatter spans 10x-1000x, so a log axis is the readable choice)."""
+    if not points:
+        raise SwiftSimError("cannot chart empty points")
+    positives = {k: v for k, v in points.items() if v > 0}
+    if len(positives) != len(points):
+        raise SwiftSimError("log scatter needs strictly positive values")
+    low = min(positives.values())
+    high = max(positives.values())
+    label_width = max(len(label) for label in points)
+    span = math.log10(high / low) if high > low else 1.0
+    lines: List[str] = [title] if title else []
+    lines.append(
+        f"{' ' * label_width}  {low:.1f}x{' ' * (width - 10)}{high:.1f}x (log scale)"
+    )
+    for label, value in points.items():
+        position = round((math.log10(value / low) / span) * (width - 1)) if high > low else 0
+        row = [" "] * width
+        row[position] = "*"
+        lines.append(f"{label.ljust(label_width)} |{''.join(row)}| {value:.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Performance-bottleneck analysis from gathered metrics.
+
+The Metrics Gatherer exists so architects can "analyze performance
+bottlenecks based on these metrics" (paper §III-C).  This module turns a
+:class:`~repro.sim.metrics.MetricsReport` into that analysis: issue
+utilization, memory intensity, cache behaviour, DRAM bandwidth pressure,
+and a coarse classification of what limits the application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.config import GPUConfig
+from repro.sim.metrics import MetricsReport
+
+#: Classification labels.
+COMPUTE_BOUND = "compute-bound"
+MEMORY_LATENCY_BOUND = "memory-latency-bound"
+MEMORY_BANDWIDTH_BOUND = "memory-bandwidth-bound"
+OCCUPANCY_BOUND = "occupancy-bound"
+BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Derived bottleneck indicators for one simulation."""
+
+    issue_utilization: float       # issued cycles / active scheduler cycles
+    memory_intensity: float        # sector transactions per committed instruction
+    l1_miss_rate: Optional[float]
+    l2_miss_rate: Optional[float]
+    dram_bandwidth_utilization: Optional[float]
+    stall_fraction: float          # scheduler cycles with candidates but no issue
+    idle_fraction: float           # scheduler cycles with no runnable warp
+    classification: str
+
+    def render(self) -> str:
+        def pct(value: Optional[float]) -> str:
+            return "   n/a" if value is None else f"{100 * value:5.1f}%"
+
+        return "\n".join(
+            [
+                f"bottleneck classification : {self.classification}",
+                f"issue utilization         : {pct(self.issue_utilization)}",
+                f"stall fraction            : {pct(self.stall_fraction)}",
+                f"idle fraction             : {pct(self.idle_fraction)}",
+                f"memory intensity          : {self.memory_intensity:.3f} transactions/instr",
+                f"L1 miss rate              : {pct(self.l1_miss_rate)}",
+                f"L2 miss rate              : {pct(self.l2_miss_rate)}",
+                f"DRAM bandwidth utilization: {pct(self.dram_bandwidth_utilization)}",
+            ]
+        )
+
+
+def analyze(report: MetricsReport, config: GPUConfig) -> BottleneckReport:
+    """Classify what limits the simulated application."""
+    committed = report.instructions
+    active = report.total("active_cycles") or 1
+    stalled = report.total("stalled_cycles", prefix="subcore")
+    idle = report.total("idle_cycles", prefix="subcore")
+    scheduler_cycles = active * config.sm.sub_cores or 1
+    issue_utilization = min(1.0, committed / scheduler_cycles)
+    stall_fraction = min(1.0, stalled / scheduler_cycles)
+    idle_fraction = min(1.0, idle / scheduler_cycles)
+
+    transactions = report.total("sector_transactions")
+    memory_intensity = transactions / committed if committed else 0.0
+
+    l1_miss = report.l1_miss_rate()
+    l2_miss = report.l2_miss_rate()
+
+    dram_sectors = report.total("sectors_transferred", prefix="dram")
+    dram_utilization: Optional[float] = None
+    if report.total_cycles > 0:
+        capacity = (
+            report.total_cycles
+            * config.memory_partitions
+            * config.dram.bytes_per_cycle
+        )
+        if capacity > 0:
+            dram_utilization = min(
+                1.0, dram_sectors * config.l2.sector_bytes / capacity
+            )
+
+    classification = _classify(
+        issue_utilization,
+        idle_fraction,
+        memory_intensity,
+        l1_miss,
+        dram_utilization,
+    )
+    return BottleneckReport(
+        issue_utilization=issue_utilization,
+        memory_intensity=memory_intensity,
+        l1_miss_rate=l1_miss,
+        l2_miss_rate=l2_miss,
+        dram_bandwidth_utilization=dram_utilization,
+        stall_fraction=stall_fraction,
+        idle_fraction=idle_fraction,
+        classification=classification,
+    )
+
+
+def _classify(
+    issue_utilization: float,
+    idle_fraction: float,
+    memory_intensity: float,
+    l1_miss: Optional[float],
+    dram_utilization: Optional[float],
+) -> str:
+    memory_heavy = memory_intensity > 0.5 and (l1_miss is None or l1_miss > 0.3)
+    if dram_utilization is not None and dram_utilization > 0.5:
+        return MEMORY_BANDWIDTH_BOUND
+    if memory_heavy and idle_fraction > 0.3:
+        return MEMORY_LATENCY_BOUND
+    if issue_utilization > 0.5:
+        return COMPUTE_BOUND
+    if idle_fraction > 0.6:
+        return OCCUPANCY_BOUND
+    return BALANCED

@@ -1,0 +1,109 @@
+"""Suite evaluation harness.
+
+Runs a set of applications through any number of simulators plus the
+hardware oracle on one GPU, and aggregates the two quantities the
+paper's evaluation reports: per-application cycle-prediction error
+against "hardware", and per-application wall-clock speedup relative to a
+baseline simulator (Accel-Sim in the paper, :class:`AccelSimLike` here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SwiftSimError
+from repro.frontend.config import GPUConfig
+from repro.oracle.hardware import HardwareOracle
+from repro.simulators.base import GPUSimulator
+from repro.tracegen.suites import app_names, make_app
+from repro.utils.stats import geomean
+
+
+@dataclass
+class AppEvaluation:
+    """One application's measurements on one GPU."""
+
+    app_name: str
+    suite: str
+    oracle_cycles: int
+    cycles: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def error_pct(self, simulator: str) -> float:
+        """Absolute cycle-prediction error (percent) vs the oracle."""
+        predicted = self.cycles[simulator]
+        return 100.0 * abs(predicted - self.oracle_cycles) / self.oracle_cycles
+
+    def signed_error_pct(self, simulator: str) -> float:
+        predicted = self.cycles[simulator]
+        return 100.0 * (predicted - self.oracle_cycles) / self.oracle_cycles
+
+    def speedup(self, simulator: str, baseline: str) -> float:
+        """Wall-clock speedup of ``simulator`` over ``baseline``."""
+        base = self.wall_seconds[baseline]
+        mine = self.wall_seconds[simulator]
+        if mine <= 0:
+            raise SwiftSimError(f"non-positive wall time for {simulator}")
+        return base / mine
+
+
+@dataclass
+class SuiteEvaluation:
+    """All applications' measurements on one GPU."""
+
+    gpu_name: str
+    scale: str
+    rows: List[AppEvaluation] = field(default_factory=list)
+
+    def simulators(self) -> List[str]:
+        return sorted(self.rows[0].cycles) if self.rows else []
+
+    def mean_error(self, simulator: str) -> float:
+        """Mean absolute prediction error (the Fig. 4 / Fig. 6 bar metric)."""
+        return sum(row.error_pct(simulator) for row in self.rows) / len(self.rows)
+
+    def geomean_speedup(self, simulator: str, baseline: str) -> float:
+        """Geometric-mean wall-clock speedup (the paper's headline metric)."""
+        return geomean(row.speedup(simulator, baseline) for row in self.rows)
+
+    def max_speedup(self, simulator: str, baseline: str) -> float:
+        return max(row.speedup(simulator, baseline) for row in self.rows)
+
+
+class EvaluationHarness:
+    """Drives simulators + oracle over an application list."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        scale: str = "small",
+        apps: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.config = config
+        self.scale = scale
+        self.app_list = list(apps) if apps is not None else app_names()
+        self.oracle = HardwareOracle(config)
+
+    def evaluate(
+        self,
+        simulators: Dict[str, GPUSimulator],
+        progress: Optional[callable] = None,
+    ) -> SuiteEvaluation:
+        """Run every app through the oracle and all ``simulators``."""
+        suite = SuiteEvaluation(gpu_name=self.config.name, scale=self.scale)
+        for app_name in self.app_list:
+            app = make_app(app_name, scale=self.scale)
+            row = AppEvaluation(
+                app_name=app.name,
+                suite=app.suite,
+                oracle_cycles=self.oracle.measure(app),
+            )
+            for sim_name, simulator in simulators.items():
+                result = simulator.simulate(app, gather_metrics=False)
+                row.cycles[sim_name] = result.total_cycles
+                row.wall_seconds[sim_name] = result.wall_time_seconds
+            suite.rows.append(row)
+            if progress is not None:
+                progress(row)
+        return suite

@@ -1,0 +1,138 @@
+"""Design-space sweep utility.
+
+The whole point of Swift-Sim is fast design-space exploration, so the
+package ships the loop architects would otherwise write by hand: take a
+base GPU, a grid of parameter overrides, and a set of applications;
+simulate every combination (optionally with the multiprocess driver);
+return a tidy result table.
+
+Overrides address nested configuration fields with dotted paths::
+
+    sweep = DesignSpaceSweep(
+        base_gpu,
+        {"l1.size_bytes": [32 * 1024, 64 * 1024],
+         "sm.scheduler_policy": ["GTO", "LRR"]},
+    )
+    table = sweep.run(SwiftSimBasic, [make_app("hotspot")])
+
+Every row carries the override values, the application, total cycles,
+and IPC, ready for plotting or tabulation (``render()``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Mapping, Sequence, Type
+
+from repro.errors import ConfigError
+from repro.frontend.config import GPUConfig
+from repro.frontend.trace import ApplicationTrace
+from repro.simulators.base import PlanSimulator
+
+
+def apply_override(gpu: GPUConfig, path: str, value: Any) -> GPUConfig:
+    """Return a copy of ``gpu`` with the dotted-``path`` field replaced."""
+    parts = path.split(".")
+    if not all(parts):
+        raise ConfigError(f"malformed override path {path!r}")
+    if len(parts) == 1:
+        if not hasattr(gpu, parts[0]):
+            raise ConfigError(f"GPUConfig has no field {parts[0]!r}")
+        return replace(gpu, **{parts[0]: value})
+    if len(parts) == 2:
+        section_name, leaf = parts
+        section = getattr(gpu, section_name, None)
+        if section is None:
+            raise ConfigError(f"GPUConfig has no section {section_name!r}")
+        if not hasattr(section, leaf):
+            raise ConfigError(f"{section_name!r} has no field {leaf!r}")
+        return replace(gpu, **{section_name: replace(section, **{leaf: value})})
+    raise ConfigError(f"override path {path!r} nests too deep (max 2 levels)")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (configuration, application) measurement."""
+
+    overrides: Mapping[str, Any]
+    app_name: str
+    total_cycles: int
+    ipc: float
+    wall_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def best(self, app_name: str) -> SweepPoint:
+        """The fastest configuration for one application."""
+        candidates = [p for p in self.points if p.app_name == app_name]
+        if not candidates:
+            raise ConfigError(f"no sweep points for application {app_name!r}")
+        return min(candidates, key=lambda p: p.total_cycles)
+
+    def render(self) -> str:
+        if not self.points:
+            return "(empty sweep)"
+        keys = sorted(self.points[0].overrides)
+        header = " | ".join([*keys, "app", "cycles", "ipc"])
+        lines = [header, "-" * len(header)]
+        for point in self.points:
+            cells = [str(point.overrides[k]) for k in keys]
+            cells += [point.app_name, str(point.total_cycles), f"{point.ipc:.3f}"]
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+
+class DesignSpaceSweep:
+    """Cartesian sweep over configuration overrides."""
+
+    def __init__(self, base: GPUConfig, grid: Mapping[str, Sequence[Any]]) -> None:
+        if not grid:
+            raise ConfigError("sweep grid cannot be empty")
+        self.base = base
+        self.grid = {path: list(values) for path, values in grid.items()}
+        for path, values in self.grid.items():
+            if not values:
+                raise ConfigError(f"override {path!r} has no values")
+            # Validate every value eagerly: a typo should fail before the
+            # sweep burns simulation time.
+            for value in values:
+                apply_override(base, path, value)
+
+    def configurations(self):
+        """Yield (overrides dict, GPUConfig) for every grid point."""
+        paths = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[p] for p in paths)):
+            overrides = dict(zip(paths, combo))
+            gpu = self.base
+            for path, value in overrides.items():
+                gpu = apply_override(gpu, path, value)
+            yield overrides, gpu
+
+    def run(
+        self,
+        simulator_cls: Type[PlanSimulator],
+        apps: Sequence[ApplicationTrace],
+        **simulator_kwargs,
+    ) -> SweepResult:
+        """Simulate every (configuration, app) pair sequentially."""
+        result = SweepResult()
+        for overrides, gpu in self.configurations():
+            simulator = simulator_cls(gpu, **simulator_kwargs)
+            for app in apps:
+                run = simulator.simulate(app, gather_metrics=False)
+                result.points.append(
+                    SweepPoint(
+                        overrides=overrides,
+                        app_name=app.name,
+                        total_cycles=run.total_cycles,
+                        ipc=run.ipc,
+                        wall_seconds=run.wall_time_seconds,
+                    )
+                )
+        return result

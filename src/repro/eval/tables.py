@@ -1,0 +1,111 @@
+"""Table I and Table II regeneration.
+
+Both tables are configuration listings; regenerating them verifies that
+the presets carry exactly the parameters the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.frontend.config import GPUConfig
+from repro.frontend.isa import UnitClass
+from repro.frontend.presets import RTX_2080_TI, RTX_3060, RTX_3090
+
+
+def _format_mb(size_bytes: int) -> str:
+    mb = size_bytes / (1024 * 1024)
+    return f"{mb:.1f}MB" if mb != int(mb) else f"{int(mb)}MB"
+
+
+def table1_rows(gpus: Sequence[GPUConfig] = (RTX_2080_TI, RTX_3060, RTX_3090)) -> List[Dict[str, str]]:
+    """Table I as data: one dict per attribute row."""
+    return [
+        {"attribute": "NVIDIA GPUs", **{g.name: g.name for g in gpus}},
+        {"attribute": "Architecture", **{g.name: g.architecture for g in gpus}},
+        {"attribute": "Graphics Processor", **{g.name: g.graphics_processor for g in gpus}},
+        {"attribute": "SMs", **{g.name: str(g.num_sms) for g in gpus}},
+        {"attribute": "CUDA Cores", **{g.name: str(g.cuda_cores) for g in gpus}},
+        {"attribute": "L2 Cache", **{g.name: _format_mb(g.l2.size_bytes) for g in gpus}},
+    ]
+
+
+def render_table1(gpus: Sequence[GPUConfig] = (RTX_2080_TI, RTX_3060, RTX_3090)) -> str:
+    """Render Table I (Comparison of three NVIDIA GPUs)."""
+    rows = table1_rows(gpus)
+    names = [g.name for g in gpus]
+    widths = [max(len(r["attribute"]) for r in rows)] + [
+        max(len(name), max(len(r[name]) for r in rows)) for name in names
+    ]
+    lines = ["TABLE I — COMPARISON OF THREE NVIDIA GPUS"]
+    header = ["".ljust(widths[0])] + [n.ljust(w) for n, w in zip(names, widths[1:])]
+    lines.append(" | ".join(header))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows[1:]:
+        cells = [row["attribute"].ljust(widths[0])] + [
+            row[name].ljust(w) for name, w in zip(names, widths[1:])
+        ]
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def table2_rows(gpu: GPUConfig = RTX_2080_TI) -> List[Dict[str, str]]:
+    """Table II as data: (parameter, value) rows."""
+    sm = gpu.sm
+    units = sm.units_by_class
+
+    def lanes(unit: UnitClass) -> str:
+        count = units[unit].lanes
+        return f"{count:g}x"
+
+    l1, l2 = gpu.l1, gpu.l2
+    return [
+        {"parameter": "# SMs", "value": str(gpu.num_sms)},
+        {"parameter": "# Sub-Cores/SM", "value": str(sm.sub_cores)},
+        {
+            "parameter": "Warp Scheduler",
+            "value": f"{sm.schedulers_per_subcore}x, {sm.scheduler_policy}",
+        },
+        {
+            "parameter": "Exec Units",
+            "value": (
+                f"INT:{lanes(UnitClass.INT)}, SP:{lanes(UnitClass.SP)}, "
+                f"DP:{lanes(UnitClass.DP)}, SFU:{lanes(UnitClass.SFU)}"
+            ),
+        },
+        {"parameter": "LD/ST Units", "value": f"{sm.ldst_units}x"},
+        {
+            "parameter": "L1 in SM",
+            "value": (
+                f"Sectored, {'streaming, ' if l1.streaming else ''}"
+                f"{'write-back' if l1.write_back else 'write-through'}, "
+                f"{l1.banks} banks, {l1.line_bytes} B/line, "
+                f"{l1.sector_bytes} B/sector, {l1.mshr_entries} MSHR entries, "
+                f"{l1.mshr_max_merge} maximum merge / MSHR, {l1.replacement}, "
+                f"{l1.latency} cycles"
+            ),
+        },
+        {
+            "parameter": "L2 Cache",
+            "value": (
+                f"Sectored, {'write-back' if l2.write_back else 'write-through'}, "
+                f"{l2.line_bytes}B/line, {l2.sector_bytes}B/sector, "
+                f"{l2.mshr_entries} MSHR entries, {l2.mshr_max_merge} maximum "
+                f"merge/MSHR, {l2.replacement}, {l2.latency} cycles"
+            ),
+        },
+        {
+            "parameter": "Memory",
+            "value": f"{gpu.memory_partitions} memory partitions, {gpu.dram.latency} cycles",
+        },
+    ]
+
+
+def render_table2(gpu: GPUConfig = RTX_2080_TI) -> str:
+    """Render Table II (NVIDIA RTX 2080 Ti GPU configuration)."""
+    rows = table2_rows(gpu)
+    width = max(len(r["parameter"]) for r in rows)
+    lines = [f"TABLE II — {gpu.name.upper()} GPU CONFIGURATION"]
+    for row in rows:
+        lines.append(f"{row['parameter'].ljust(width)} | {row['value']}")
+    return "\n".join(lines)

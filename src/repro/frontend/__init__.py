@@ -1,0 +1,65 @@
+"""Swift-Sim Frontend: Hardware Configuration Collector and Trace Parser.
+
+The Frontend is part (1) of the framework in the paper's Figure 2.  It
+turns configuration files into a validated :class:`~repro.frontend.config.GPUConfig`
+tree and NVBit-style application traces into in-memory
+:class:`~repro.frontend.trace.ApplicationTrace` objects that the
+performance model consumes.
+"""
+
+from repro.frontend.config import (
+    CacheConfig,
+    DRAMConfig,
+    ExecUnitConfig,
+    GPUConfig,
+    NoCConfig,
+    SMConfig,
+)
+from repro.frontend.config_io import load_gpu_config, save_gpu_config
+from repro.frontend.isa import (
+    OPCODES,
+    InstKind,
+    MemSpace,
+    OpcodeInfo,
+    UnitClass,
+    opcode_info,
+)
+from repro.frontend.nvbit_compat import export_nvbit, load_nvbit, parse_nvbit
+from repro.frontend.presets import GPU_PRESETS, get_preset
+from repro.frontend.trace import (
+    ApplicationTrace,
+    BlockTrace,
+    KernelTrace,
+    TraceInstruction,
+    WarpTrace,
+)
+from repro.frontend.trace_io import load_trace, save_trace
+
+__all__ = [
+    "ApplicationTrace",
+    "BlockTrace",
+    "CacheConfig",
+    "DRAMConfig",
+    "ExecUnitConfig",
+    "GPUConfig",
+    "GPU_PRESETS",
+    "InstKind",
+    "KernelTrace",
+    "MemSpace",
+    "NoCConfig",
+    "OPCODES",
+    "OpcodeInfo",
+    "SMConfig",
+    "TraceInstruction",
+    "UnitClass",
+    "WarpTrace",
+    "export_nvbit",
+    "get_preset",
+    "load_nvbit",
+    "parse_nvbit",
+    "load_gpu_config",
+    "load_trace",
+    "opcode_info",
+    "save_gpu_config",
+    "save_trace",
+]

@@ -1,0 +1,85 @@
+"""Configuration file I/O.
+
+Configurations are stored as JSON with one object per component, mirroring
+the dataclass tree in :mod:`repro.frontend.config`.  This is the
+"configuration files" half of the Hardware Configuration Collector:
+architects edit the file, the collector parses and validates it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import ConfigError
+from repro.frontend.config import (
+    CacheConfig,
+    DRAMConfig,
+    ExecUnitConfig,
+    GPUConfig,
+    NoCConfig,
+    SMConfig,
+)
+from repro.frontend.isa import UnitClass
+
+_FORMAT_VERSION = 1
+
+
+def gpu_config_to_dict(config: GPUConfig) -> Dict[str, Any]:
+    """Serialize a :class:`GPUConfig` to plain JSON-compatible data."""
+    data = asdict(config)
+    data["format_version"] = _FORMAT_VERSION
+    for unit_entry in data["sm"]["exec_units"]:
+        unit_entry["unit"] = unit_entry["unit"].value
+    return data
+
+
+def gpu_config_from_dict(data: Dict[str, Any]) -> GPUConfig:
+    """Build and validate a :class:`GPUConfig` from parsed JSON data."""
+    if not isinstance(data, dict):
+        raise ConfigError("configuration root must be a JSON object")
+    payload = dict(data)
+    version = payload.pop("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ConfigError(f"unsupported config format version {version}")
+    try:
+        sm_data = dict(payload.pop("sm"))
+        exec_units = tuple(
+            ExecUnitConfig(
+                unit=UnitClass(entry["unit"]),
+                lanes=entry["lanes"],
+                latency=entry["latency"],
+            )
+            for entry in sm_data.pop("exec_units")
+        )
+        sm = SMConfig(exec_units=exec_units, **sm_data)
+        l1 = CacheConfig(**payload.pop("l1"))
+        l2 = CacheConfig(**payload.pop("l2"))
+        noc = NoCConfig(**payload.pop("noc"))
+        dram = DRAMConfig(**payload.pop("dram"))
+        return GPUConfig(sm=sm, l1=l1, l2=l2, noc=noc, dram=dram, **payload)
+    except ConfigError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed GPU configuration: {exc}") from exc
+
+
+def save_gpu_config(config: GPUConfig, path: Union[str, Path]) -> None:
+    """Write ``config`` to ``path`` as formatted JSON."""
+    Path(path).write_text(
+        json.dumps(gpu_config_to_dict(config), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_gpu_config(path: Union[str, Path]) -> GPUConfig:
+    """Read and validate a GPU configuration file."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ConfigError(f"configuration file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"configuration file {path} is not valid JSON: {exc}") from exc
+    return gpu_config_from_dict(raw)

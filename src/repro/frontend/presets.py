@@ -1,0 +1,167 @@
+"""Real-GPU configuration presets (paper Tables I and II).
+
+Three NVIDIA GPUs are modeled: the Turing RTX 2080 Ti (the paper's
+detailed-comparison target, Table II) and the Ampere RTX 3060 and
+RTX 3090 used for the cross-architecture study (Figure 6).
+
+Parameters the paper discloses are taken verbatim (SM counts, CUDA
+cores, L2 sizes, cache geometry, latencies, 22 memory partitions for the
+2080 Ti).  Undisclosed parameters use public microarchitecture figures:
+Turing sub-cores have 16 FP32 lanes (4352 / 68 / 4), Ampere sub-cores 32
+(128 CUDA cores per SM); partition counts for the Ampere parts follow
+their memory-bus widths (192 bit -> 12, 384 bit -> 24).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.frontend.config import (
+    CacheConfig,
+    DRAMConfig,
+    ExecUnitConfig,
+    GPUConfig,
+    NoCConfig,
+    SMConfig,
+)
+from repro.frontend.isa import UnitClass
+
+#: Base execution-unit latencies, shared across architectures.
+_INT_LATENCY = 4
+_SP_LATENCY = 4
+_DP_LATENCY = 40
+_SFU_LATENCY = 21
+_TENSOR_LATENCY = 32
+
+
+def _exec_units(sp_lanes: float) -> Tuple[ExecUnitConfig, ...]:
+    """Table II per-sub-core resources: INT:16x SP:16x DP:0.5x SFU:4x."""
+    return (
+        ExecUnitConfig(UnitClass.INT, 16, _INT_LATENCY),
+        ExecUnitConfig(UnitClass.SP, sp_lanes, _SP_LATENCY),
+        ExecUnitConfig(UnitClass.DP, 0.5, _DP_LATENCY),
+        ExecUnitConfig(UnitClass.SFU, 4, _SFU_LATENCY),
+        ExecUnitConfig(UnitClass.TENSOR, 8, _TENSOR_LATENCY),
+    )
+
+
+def _l1_config() -> CacheConfig:
+    """Table II L1: sectored, streaming, write-through, 4 banks, 128 B lines,
+    32 B sectors, 256 MSHR entries, 8 merges per MSHR, LRU, 32 cycles."""
+    return CacheConfig(
+        size_bytes=32 * 1024,
+        line_bytes=128,
+        sector_bytes=32,
+        assoc=4,
+        banks=4,
+        mshr_entries=256,
+        mshr_max_merge=8,
+        latency=32,
+        replacement="LRU",
+        write_back=False,
+        write_allocate=False,
+        streaming=True,
+    )
+
+
+def _l2_config(size_bytes: int) -> CacheConfig:
+    """Table II L2: sectored, write-back, 128 B lines, 32 B sectors,
+    192 MSHR entries, 4 merges per MSHR, LRU, 188 cycles."""
+    return CacheConfig(
+        size_bytes=size_bytes,
+        line_bytes=128,
+        sector_bytes=32,
+        assoc=16,
+        banks=4,
+        mshr_entries=192,
+        mshr_max_merge=4,
+        latency=188,
+        replacement="LRU",
+        write_back=True,
+        write_allocate=True,
+        streaming=False,
+    )
+
+
+def _sm_config(sp_lanes: float, max_warps: int) -> SMConfig:
+    return SMConfig(
+        sub_cores=4,
+        schedulers_per_subcore=1,
+        scheduler_policy="GTO",
+        issue_width=1,
+        exec_units=_exec_units(sp_lanes),
+        ldst_units=4,
+        ldst_throughput=4,
+        max_warps=max_warps,
+        max_blocks=16,
+        max_threads=max_warps * 32,
+        registers=65536,
+        shared_mem_bytes=65536,
+    )
+
+
+RTX_2080_TI = GPUConfig(
+    name="RTX 2080 Ti",
+    architecture="Turing",
+    graphics_processor="TU102",
+    num_sms=68,
+    cuda_cores=4352,
+    sm=_sm_config(sp_lanes=16, max_warps=32),
+    l1=_l1_config(),
+    l2=_l2_config(5632 * 1024),          # 5.5 MB
+    memory_partitions=22,
+    noc=NoCConfig(flit_bytes=32, latency=8, flits_per_cycle=1),
+    dram=DRAMConfig(latency=227, bytes_per_cycle=16),
+    core_clock_mhz=1350,
+)
+
+RTX_3060 = GPUConfig(
+    name="RTX 3060",
+    architecture="Ampere",
+    graphics_processor="GA106",
+    num_sms=28,
+    cuda_cores=3584,
+    sm=_sm_config(sp_lanes=32, max_warps=48),
+    l1=_l1_config(),
+    l2=_l2_config(3 * 1024 * 1024),      # 3 MB
+    memory_partitions=12,
+    noc=NoCConfig(flit_bytes=32, latency=8, flits_per_cycle=1),
+    dram=DRAMConfig(latency=240, bytes_per_cycle=16),
+    core_clock_mhz=1320,
+)
+
+RTX_3090 = GPUConfig(
+    name="RTX 3090",
+    architecture="Ampere",
+    graphics_processor="GA102",
+    num_sms=82,
+    cuda_cores=10496,
+    sm=_sm_config(sp_lanes=32, max_warps=48),
+    l1=_l1_config(),
+    l2=_l2_config(6 * 1024 * 1024),      # 6 MB
+    memory_partitions=24,
+    noc=NoCConfig(flit_bytes=32, latency=8, flits_per_cycle=1),
+    dram=DRAMConfig(latency=234, bytes_per_cycle=16),
+    core_clock_mhz=1395,
+)
+
+#: All presets keyed by canonical name.
+GPU_PRESETS: Dict[str, GPUConfig] = {
+    "rtx2080ti": RTX_2080_TI,
+    "rtx3060": RTX_3060,
+    "rtx3090": RTX_3090,
+}
+
+
+def get_preset(name: str) -> GPUConfig:
+    """Return a preset by canonical key (e.g. ``"rtx2080ti"``) or display name."""
+    key = name.lower().replace(" ", "").replace("-", "").replace("_", "")
+    if key in GPU_PRESETS:
+        return GPU_PRESETS[key]
+    for preset in GPU_PRESETS.values():
+        if preset.name.lower().replace(" ", "") == key:
+            return preset
+    raise ConfigError(
+        f"unknown GPU preset {name!r}; available: {sorted(GPU_PRESETS)}"
+    )

@@ -1,0 +1,250 @@
+"""Trace Parser: NVBit-style textual trace format.
+
+The on-disk format is line-oriented, mirroring the structure of traces
+produced by the paper's NVBit extension:
+
+.. code-block:: text
+
+    #SWIFTSIM-TRACE v1
+    app bfs suite=rodinia
+    kernel bfs_kernel grid=16,1,1
+    block 0 smem=0 regs=24
+    warp 0
+    0x0000 IADD3 d=4 s=2,3
+    0x0010 LDG d=5 s=4 m=0xffffffff a=0x10000,0x10004,...
+    0x0020 EXIT
+
+Blank lines and ``#`` comments are ignored.  Register lists, masks, and
+addresses are optional per instruction; addresses are hexadecimal.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import TraceError
+from repro.frontend.trace import (
+    ApplicationTrace,
+    BlockTrace,
+    KernelTrace,
+    TraceInstruction,
+    WarpTrace,
+)
+
+_HEADER = "#SWIFTSIM-TRACE v1"
+
+
+def save_trace(trace: ApplicationTrace, path: Union[str, Path]) -> None:
+    """Serialize an application trace to the textual format.
+
+    Paths ending in ``.gz`` are gzip-compressed transparently (real NVBit
+    trace archives ship compressed; ours can too).
+    """
+    lines: List[str] = [_HEADER, f"app {trace.name} suite={trace.suite}"]
+    for kernel in trace.kernels:
+        gx, gy, gz = kernel.grid_dim
+        lines.append(f"kernel {kernel.name} grid={gx},{gy},{gz}")
+        for block in kernel.blocks:
+            lines.append(
+                f"block {block.block_id} smem={block.shared_mem_bytes} "
+                f"regs={block.regs_per_thread}"
+            )
+            for warp in block.warps:
+                lines.append(f"warp {warp.warp_id}")
+                for inst in warp.instructions:
+                    lines.append(_format_instruction(inst))
+    text = "\n".join(lines) + "\n"
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt") as handle:
+            handle.write(text)
+    else:
+        path.write_text(text)
+
+
+def _format_instruction(inst: TraceInstruction) -> str:
+    parts = [f"{inst.pc:#06x}", inst.opcode]
+    if inst.dest_regs:
+        parts.append("d=" + ",".join(str(r) for r in inst.dest_regs))
+    if inst.src_regs:
+        parts.append("s=" + ",".join(str(r) for r in inst.src_regs))
+    if inst.active_mask != 0xFFFFFFFF:
+        parts.append(f"m={inst.active_mask:#x}")
+    if inst.addresses:
+        parts.append("a=" + ",".join(f"{a:#x}" for a in inst.addresses))
+    return " ".join(parts)
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over trace lines."""
+
+    def __init__(self, lines: List[str], source: str) -> None:
+        self._lines = lines
+        self._source = source
+        self._index = 0
+
+    def _fail(self, message: str) -> None:
+        raise TraceError(f"{self._source}:{self._index}: {message}")
+
+    def _peek(self) -> Optional[str]:
+        while self._index < len(self._lines):
+            stripped = self._lines[self._index].strip()
+            if stripped and not stripped.startswith("#"):
+                return stripped
+            self._index += 1
+        return None
+
+    def _next(self) -> str:
+        line = self._peek()
+        if line is None:
+            self._fail("unexpected end of trace")
+        self._index += 1
+        return line  # type: ignore[return-value]
+
+    def parse(self) -> ApplicationTrace:
+        first_raw = self._lines[0].strip() if self._lines else ""
+        if first_raw != _HEADER:
+            self._fail(f"missing header {_HEADER!r}")
+        self._index = 1
+        app_line = self._next()
+        if not app_line.startswith("app "):
+            self._fail("expected 'app <name> suite=<suite>'")
+        app_fields = app_line.split()
+        app_name = app_fields[1]
+        suite = ""
+        for field in app_fields[2:]:
+            if field.startswith("suite="):
+                suite = field[len("suite="):]
+        kernels: List[KernelTrace] = []
+        while self._peek() is not None:
+            kernels.append(self._parse_kernel())
+        if not kernels:
+            self._fail("trace contains no kernels")
+        return ApplicationTrace(app_name, kernels, suite=suite)
+
+    def _parse_kernel(self) -> KernelTrace:
+        line = self._next()
+        if not line.startswith("kernel "):
+            self._fail(f"expected 'kernel', got {line!r}")
+        fields = line.split()
+        name = fields[1]
+        grid_dim = None
+        for field in fields[2:]:
+            if field.startswith("grid="):
+                try:
+                    gx, gy, gz = (int(v) for v in field[len("grid="):].split(","))
+                except ValueError:
+                    self._fail(f"malformed grid spec {field!r}")
+                grid_dim = (gx, gy, gz)
+        blocks: List[BlockTrace] = []
+        while True:
+            nxt = self._peek()
+            if nxt is None or not nxt.startswith("block "):
+                break
+            blocks.append(self._parse_block())
+        if not blocks:
+            self._fail(f"kernel {name!r} has no blocks")
+        return KernelTrace(name, blocks, grid_dim=grid_dim)
+
+    def _parse_block(self) -> BlockTrace:
+        line = self._next()
+        fields = line.split()
+        try:
+            block_id = int(fields[1])
+        except (IndexError, ValueError):
+            self._fail(f"malformed block line {line!r}")
+        shared_mem = 0
+        regs = 32
+        for field in fields[2:]:
+            if field.startswith("smem="):
+                shared_mem = int(field[len("smem="):])
+            elif field.startswith("regs="):
+                regs = int(field[len("regs="):])
+        warps: List[WarpTrace] = []
+        while True:
+            nxt = self._peek()
+            if nxt is None or not nxt.startswith("warp "):
+                break
+            warps.append(self._parse_warp())
+        if not warps:
+            self._fail(f"block {block_id} has no warps")
+        return BlockTrace(block_id, warps, shared_mem_bytes=shared_mem, regs_per_thread=regs)
+
+    def _parse_warp(self) -> WarpTrace:
+        line = self._next()
+        try:
+            warp_id = int(line.split()[1])
+        except (IndexError, ValueError):
+            self._fail(f"malformed warp line {line!r}")
+        instructions: List[TraceInstruction] = []
+        while True:
+            nxt = self._peek()
+            if nxt is None or nxt.startswith(("warp ", "block ", "kernel ")):
+                break
+            instructions.append(self._parse_instruction(self._next()))
+        if not instructions:
+            self._fail(f"warp {warp_id} has no instructions")
+        return WarpTrace(warp_id, instructions)
+
+    def _parse_instruction(self, line: str) -> TraceInstruction:
+        fields = line.split()
+        if len(fields) < 2:
+            self._fail(f"malformed instruction line {line!r}")
+        try:
+            pc = int(fields[0], 16)
+        except ValueError:
+            self._fail(f"malformed PC {fields[0]!r}")
+        opcode = fields[1]
+        dest_regs: List[int] = []
+        src_regs: List[int] = []
+        mask = 0xFFFFFFFF
+        addresses: List[int] = []
+        for field in fields[2:]:
+            try:
+                if field.startswith("d="):
+                    dest_regs = [int(v) for v in field[2:].split(",")]
+                elif field.startswith("s="):
+                    src_regs = [int(v) for v in field[2:].split(",")]
+                elif field.startswith("m="):
+                    mask = int(field[2:], 16)
+                elif field.startswith("a="):
+                    addresses = [int(v, 16) for v in field[2:].split(",")]
+                else:
+                    self._fail(f"unknown instruction field {field!r}")
+            except ValueError:
+                self._fail(f"malformed field {field!r}")
+        try:
+            return TraceInstruction(
+                pc=pc,
+                opcode=opcode,
+                dest_regs=dest_regs,
+                src_regs=src_regs,
+                active_mask=mask,
+                addresses=addresses,
+            )
+        except TraceError as exc:
+            self._fail(str(exc))
+        raise AssertionError("unreachable")
+
+
+def load_trace(path: Union[str, Path]) -> ApplicationTrace:
+    """Parse a (possibly gzipped) trace file into an :class:`ApplicationTrace`."""
+    path = Path(path)
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rt") as handle:
+                text = handle.read()
+        else:
+            text = path.read_text()
+    except FileNotFoundError:
+        raise TraceError(f"trace file not found: {path}") from None
+    except (OSError, UnicodeDecodeError) as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    return parse_trace(text, source=str(path))
+
+
+def parse_trace(text: str, source: str = "<string>") -> ApplicationTrace:
+    """Parse trace text (see module docstring for the format)."""
+    return _Parser(text.splitlines(), source).parse()

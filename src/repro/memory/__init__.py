@@ -1,0 +1,36 @@
+"""GPU memory-system substrate.
+
+Contains every component on the memory path of Figure 1: the per-warp
+access coalescer, the sectored L1 and banked sectored L2 caches with
+MSHRs, the SM<->partition crossbar NoC, the DRAM partitions, the two
+composed timing models (reservation-queued for Swift-Sim, per-cycle
+detailed for the Accel-Sim-like baseline), the reuse-distance profiler,
+and the Eq. 1 analytical memory model.
+"""
+
+from repro.memory.access import SectorTransaction, coalesce
+from repro.memory.analytical import AnalyticalMemoryModel, MemoryProfile
+from repro.memory.cache import AccessStatus, SectoredCache
+from repro.memory.dram import DRAMPartition
+from repro.memory.hierarchy import DetailedMemorySystem, QueuedMemorySystem
+from repro.memory.l2 import partition_for_line
+from repro.memory.noc import DetailedNoC, ReservedNoC
+from repro.memory.replacement import make_replacement_policy
+from repro.memory.reuse_distance import ReuseDistanceProfiler
+
+__all__ = [
+    "AccessStatus",
+    "AnalyticalMemoryModel",
+    "DetailedMemorySystem",
+    "DetailedNoC",
+    "DRAMPartition",
+    "MemoryProfile",
+    "QueuedMemorySystem",
+    "ReservedNoC",
+    "ReuseDistanceProfiler",
+    "SectorTransaction",
+    "SectoredCache",
+    "coalesce",
+    "make_replacement_policy",
+    "partition_for_line",
+]

@@ -1,0 +1,352 @@
+"""Sectored cache with MSHRs (models both the L1 and one L2 slice).
+
+The tag array holds 128-byte lines split into 32-byte sectors with
+per-sector valid/dirty bits, as in Turing/Ampere (Table II).  Misses
+allocate Miss Status Holding Register entries keyed by
+``(line, sector)``; later requests to an in-flight sector merge into the
+entry up to the configured merge limit.
+
+The cache is a pure state machine over an externally supplied clock: the
+caller performs an :meth:`SectoredCache.access`, and on a genuine miss
+tells the cache when the downstream fill will arrive via
+:meth:`SectoredCache.set_fill_cycle`.  This lets the same tag/MSHR logic
+serve three drivers: the per-cycle detailed memory system (Accel-Sim-like
+baseline), the reservation-queued system (Swift-Sim-Basic), and the
+zero-latency functional profiling pass that feeds the Eq. 1 analytical
+model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import Enum, unique
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.frontend.config import CacheConfig
+from repro.memory.replacement import make_replacement_policy
+from repro.sim.module import ModelLevel, Module
+
+
+@unique
+class AccessStatus(Enum):
+    """Outcome of one sector access."""
+
+    HIT = "hit"
+    PENDING_HIT = "pending_hit"          # merged into an in-flight fill
+    MISS = "miss"                        # new downstream fetch required
+    MISS_BYPASS = "miss_bypass"          # streaming cache: fetch, don't allocate
+    MSHR_FULL = "mshr_full"              # structural stall: retry later
+    RESERVATION_FAIL = "reservation_fail"  # no evictable way: retry later
+
+
+class AccessResult:
+    """What one access did.
+
+    ``needs_fetch`` tells the caller to fetch the sector downstream and
+    then report the fill time.  ``ready_cycle`` is set for PENDING_HIT
+    (when the in-flight fill lands).  ``dirty_writeback_sectors`` counts
+    dirty sectors evicted by this access (write-back traffic the caller
+    must send downstream).
+    """
+
+    __slots__ = ("status", "needs_fetch", "ready_cycle", "dirty_writeback_sectors")
+
+    def __init__(
+        self,
+        status: AccessStatus,
+        needs_fetch: bool = False,
+        ready_cycle: Optional[int] = None,
+        dirty_writeback_sectors: int = 0,
+    ) -> None:
+        self.status = status
+        self.needs_fetch = needs_fetch
+        self.ready_cycle = ready_cycle
+        self.dirty_writeback_sectors = dirty_writeback_sectors
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult({self.status.value}, fetch={self.needs_fetch}, "
+            f"ready={self.ready_cycle}, wb={self.dirty_writeback_sectors})"
+        )
+
+
+class _Line:
+    """One tag-array way."""
+
+    __slots__ = ("tag", "valid_mask", "dirty_mask", "pending_mask")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid_mask = 0
+        self.dirty_mask = 0
+        self.pending_mask = 0
+
+    @property
+    def allocated(self) -> bool:
+        return self.tag >= 0
+
+
+class _MSHREntry:
+    """In-flight fill for one (line, sector)."""
+
+    __slots__ = ("set_idx", "way", "fill_cycle", "merges")
+
+    def __init__(self, set_idx: int, way: int) -> None:
+        self.set_idx = set_idx
+        self.way = way
+        self.fill_cycle: Optional[int] = None
+        self.merges = 0
+
+
+class SectoredCache(Module):
+    """A sectored, MSHR-backed cache level."""
+
+    component = "cache"
+    level = ModelLevel.CYCLE_ACCURATE
+
+    def __init__(self, config: CacheConfig, name: str = "cache", seed: int = 0) -> None:
+        super().__init__(name)
+        self.config = config
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        self._sectors_per_line = config.sectors_per_line
+        self._sets: List[List[_Line]] = [
+            [_Line() for __ in range(self._assoc)] for __ in range(self._num_sets)
+        ]
+        self._policies = [
+            make_replacement_policy(config.replacement, self._assoc, seed=seed + s)
+            for s in range(self._num_sets)
+        ]
+        self._mshr: Dict[Tuple[int, int], _MSHREntry] = {}
+        self._expiry: List[Tuple[int, int, int]] = []  # (fill_cycle, line, sector)
+        self._functional_clock = 0
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+
+    def reset(self) -> None:
+        super().reset()
+        for cache_set in self._sets:
+            for line in cache_set:
+                line.tag = -1
+                line.valid_mask = 0
+                line.dirty_mask = 0
+                line.pending_mask = 0
+        self._mshr.clear()
+        self._expiry.clear()
+        self._functional_clock = 0
+
+    def _expire(self, cycle: int) -> None:
+        """Retire every fill whose data has arrived by ``cycle``."""
+        expiry = self._expiry
+        while expiry and expiry[0][0] <= cycle:
+            __, line_addr, sector = heapq.heappop(expiry)
+            entry = self._mshr.pop((line_addr, sector), None)
+            if entry is None:
+                continue
+            line = self._sets[entry.set_idx][entry.way]
+            bit = 1 << sector
+            line.pending_mask &= ~bit
+            line.valid_mask |= bit
+            self.counters.add("fills")
+
+    def _locate(self, set_idx: int, tag: int) -> Optional[int]:
+        # Unallocated ways hold tag -1 and real tags are non-negative, so a
+        # plain equality test suffices (hot path: no property calls).
+        for way, line in enumerate(self._sets[set_idx]):
+            if line.tag == tag:
+                return way
+        return None
+
+    def set_fill_cycle(self, line_addr: int, sector: int, fill_cycle: int) -> None:
+        """Report when the downstream fetch for a MISS will fill the sector."""
+        entry = self._mshr.get((line_addr, sector))
+        if entry is None:
+            raise SimulationError(
+                f"{self.name}: no MSHR entry for line {line_addr:#x} sector {sector}"
+            )
+        if entry.fill_cycle is not None:
+            raise SimulationError(
+                f"{self.name}: fill cycle already set for line {line_addr:#x} "
+                f"sector {sector}"
+            )
+        entry.fill_cycle = fill_cycle
+        heapq.heappush(self._expiry, (fill_cycle, line_addr, sector))
+
+    def next_fill_cycle(self, after_cycle: int) -> Optional[int]:
+        """Earliest in-flight fill landing strictly after ``after_cycle``.
+
+        Used by reservation-mode drivers to retry a structurally stalled
+        access at the first cycle the stall could clear.
+        """
+        self._expire(after_cycle)
+        if not self._expiry:
+            return None
+        return self._expiry[0][0]
+
+    def mshr_occupancy(self) -> int:
+        """Number of live MSHR entries (for tests and metrics)."""
+        return len(self._mshr)
+
+    def probe(self, line_addr: int, sector: int, cycle: Optional[int] = None) -> bool:
+        """Is the sector present and valid?  With ``cycle``, fills that
+        have landed by then are retired first (replacement state is not
+        touched either way)."""
+        if cycle is not None:
+            self._expire(cycle)
+        set_idx = line_addr % self._num_sets
+        tag = line_addr // self._num_sets
+        way = self._locate(set_idx, tag)
+        if way is None:
+            return False
+        return bool(self._sets[set_idx][way].valid_mask & (1 << sector))
+
+    # ------------------------------------------------------------------
+    # the access state machine
+
+    def access(
+        self, line_addr: int, sector: int, is_write: bool, cycle: int
+    ) -> AccessResult:
+        """Perform one sector access at ``cycle``. See class docstring."""
+        if self._expiry:
+            self._expire(cycle)
+        self.counters.add("sector_accesses")
+        if is_write:
+            result = self._access_write(line_addr, sector)
+        else:
+            result = self._access_read(line_addr, sector)
+        if result.status in (AccessStatus.MISS, AccessStatus.MISS_BYPASS):
+            self.counters.add("sector_misses")
+        elif result.status is AccessStatus.HIT:
+            self.counters.add("sector_hits")
+        elif result.status is AccessStatus.PENDING_HIT:
+            self.counters.add("pending_hits")
+        elif result.status is AccessStatus.MSHR_FULL:
+            self.counters.add("mshr_full_stalls")
+        elif result.status is AccessStatus.RESERVATION_FAIL:
+            self.counters.add("reservation_fails")
+        if result.dirty_writeback_sectors:
+            self.counters.add("writeback_sectors", result.dirty_writeback_sectors)
+        return result
+
+    def access_functional(self, line_addr: int, sector: int, is_write: bool) -> AccessResult:
+        """Zero-latency access for profiling passes: fills land instantly,
+        so structural stalls (MSHR/reservation) cannot occur."""
+        self._functional_clock += 1
+        cycle = self._functional_clock
+        result = self.access(line_addr, sector, is_write, cycle)
+        if result.needs_fetch:
+            self.set_fill_cycle(line_addr, sector, cycle)
+        return result
+
+    def _access_read(self, line_addr: int, sector: int) -> AccessResult:
+        set_idx = line_addr % self._num_sets
+        tag = line_addr // self._num_sets
+        bit = 1 << sector
+        way = self._locate(set_idx, tag)
+        if way is not None:
+            line = self._sets[set_idx][way]
+            if line.valid_mask & bit:
+                self._policies[set_idx].on_access(way)
+                return AccessResult(AccessStatus.HIT)
+            entry = self._mshr.get((line_addr, sector))
+            if entry is not None:
+                if entry.merges >= self.config.mshr_max_merge:
+                    return AccessResult(AccessStatus.MSHR_FULL)
+                entry.merges += 1
+                return AccessResult(
+                    AccessStatus.PENDING_HIT, ready_cycle=entry.fill_cycle
+                )
+            # Sector miss on a present line: fetch just this sector.
+            if len(self._mshr) >= self.config.mshr_entries:
+                return AccessResult(AccessStatus.MSHR_FULL)
+            line.pending_mask |= bit
+            self._mshr[(line_addr, sector)] = _MSHREntry(set_idx, way)
+            self._policies[set_idx].on_access(way)
+            return AccessResult(AccessStatus.MISS, needs_fetch=True)
+        # Line miss: allocate a way (or bypass for streaming caches).
+        if len(self._mshr) >= self.config.mshr_entries:
+            return AccessResult(AccessStatus.MSHR_FULL)
+        victim = self._find_victim(set_idx)
+        if victim is None:
+            if self.config.streaming:
+                self.counters.add("bypasses")
+                return AccessResult(AccessStatus.MISS_BYPASS, needs_fetch=True)
+            return AccessResult(AccessStatus.RESERVATION_FAIL)
+        writeback = self._install(set_idx, victim, tag)
+        line = self._sets[set_idx][victim]
+        line.pending_mask |= bit
+        self._mshr[(line_addr, sector)] = _MSHREntry(set_idx, victim)
+        return AccessResult(
+            AccessStatus.MISS, needs_fetch=True, dirty_writeback_sectors=writeback
+        )
+
+    def _access_write(self, line_addr: int, sector: int) -> AccessResult:
+        set_idx = line_addr % self._num_sets
+        tag = line_addr // self._num_sets
+        bit = 1 << sector
+        way = self._locate(set_idx, tag)
+        if not self.config.write_back:
+            # Write-through, no write-allocate (the Turing L1): update the
+            # sector if present; the caller forwards the write downstream
+            # either way.
+            if way is not None and self._sets[set_idx][way].valid_mask & bit:
+                self._policies[set_idx].on_access(way)
+                return AccessResult(AccessStatus.HIT)
+            return AccessResult(AccessStatus.MISS_BYPASS)
+        # Write-back, write-allocate (the L2). A full-sector store needs no
+        # downstream fetch: allocate, mark valid + dirty.
+        if way is not None:
+            line = self._sets[set_idx][way]
+            if line.pending_mask & bit:
+                # Sector is being filled; coalesce the write behind the fill.
+                entry = self._mshr.get((line_addr, sector))
+                line.dirty_mask |= bit
+                return AccessResult(
+                    AccessStatus.PENDING_HIT,
+                    ready_cycle=entry.fill_cycle if entry else None,
+                )
+            hit = bool(line.valid_mask & bit)
+            line.valid_mask |= bit
+            line.dirty_mask |= bit
+            self._policies[set_idx].on_access(way)
+            return AccessResult(AccessStatus.HIT if hit else AccessStatus.MISS)
+        victim = self._find_victim(set_idx)
+        if victim is None:
+            return AccessResult(AccessStatus.RESERVATION_FAIL)
+        writeback = self._install(set_idx, victim, tag)
+        line = self._sets[set_idx][victim]
+        line.valid_mask |= bit
+        line.dirty_mask |= bit
+        return AccessResult(
+            AccessStatus.MISS, needs_fetch=False, dirty_writeback_sectors=writeback
+        )
+
+    def _find_victim(self, set_idx: int) -> Optional[int]:
+        """Pick a way to evict; lines with in-flight fills are not evictable."""
+        ways = self._sets[set_idx]
+        for way, line in enumerate(ways):
+            if line.tag < 0:
+                return way
+        candidates = [w for w, line in enumerate(ways) if line.pending_mask == 0]
+        if not candidates:
+            return None
+        return self._policies[set_idx].victim(candidates)
+
+    def _install(self, set_idx: int, way: int, tag: int) -> int:
+        """Evict whatever occupies ``way`` and install ``tag``; return the
+        number of dirty sectors written back."""
+        line = self._sets[set_idx][way]
+        allocated = line.tag >= 0
+        writeback = bin(line.dirty_mask).count("1") if allocated else 0
+        if writeback:
+            self.counters.add("evictions_dirty")
+        elif allocated:
+            self.counters.add("evictions_clean")
+        line.tag = tag
+        line.valid_mask = 0
+        line.dirty_mask = 0
+        line.pending_mask = 0
+        self._policies[set_idx].on_fill(way)
+        return writeback

@@ -1,0 +1,84 @@
+"""DRAM partitions.
+
+Each memory partition owns one channel with ``banks_per_partition``
+banks.  Timing captures the two effects that matter at this abstraction
+level: row-buffer locality (a hit to the open row is much faster than a
+row activation) and channel bandwidth (a sector occupies the data bus
+for ``sector_bytes / bytes_per_cycle`` cycles).
+
+As with the NoC, the partition exposes both a reservation-style call for
+the hybrid simulators and primitive queries the per-cycle detailed
+memory system drives directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.frontend.config import DRAMConfig
+from repro.sim.module import ModelLevel, Module
+from repro.utils.bitops import ceil_div
+
+
+class DRAMPartition(Module):
+    """One memory partition's channel and banks."""
+
+    component = "dram"
+    level = ModelLevel.HYBRID
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        partition_id: int,
+        line_bytes: int = 128,
+        sector_bytes: int = 32,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or f"dram{partition_id}")
+        self.config = config
+        self.partition_id = partition_id
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self._open_rows: List[int] = [-1] * config.banks_per_partition
+        self._channel_free = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._open_rows = [-1] * self.config.banks_per_partition
+        self._channel_free = 0
+
+    def _bank_and_row(self, line_addr: int) -> Tuple[int, int]:
+        byte_addr = line_addr * self.line_bytes
+        bank = (byte_addr // self.config.row_bytes) % self.config.banks_per_partition
+        row = byte_addr // (self.config.row_bytes * self.config.banks_per_partition)
+        return bank, row
+
+    def access_latency(self, line_addr: int) -> int:
+        """Latency of the next access to ``line_addr``; updates row state."""
+        bank, row = self._bank_and_row(line_addr)
+        if self._open_rows[bank] == row:
+            self.counters.add("row_hits")
+            return self.config.row_hit_latency
+        self._open_rows[bank] = row
+        self.counters.add("row_misses")
+        return self.config.latency
+
+    def burst_cycles(self, sectors: int = 1) -> int:
+        """Data-bus occupancy of transferring ``sectors`` sectors."""
+        return ceil_div(sectors * self.sector_bytes, self.config.bytes_per_cycle)
+
+    def reserve(self, cycle: int, line_addr: int, sectors: int = 1, is_write: bool = False) -> int:
+        """Hybrid path: queue behind the channel, return data-ready cycle."""
+        start = self._channel_free
+        if start < cycle:
+            start = cycle
+        else:
+            self.counters.add("stall_cycles", start - cycle)
+        burst = self.burst_cycles(sectors)
+        self._channel_free = start + burst
+        self.counters.add("writes" if is_write else "reads")
+        self.counters.add("sectors_transferred", sectors)
+        if is_write:
+            # Writes complete (from the requester's view) once buffered.
+            return start + burst
+        return start + self.access_latency(line_addr) + burst

@@ -1,0 +1,153 @@
+"""SM <-> memory-partition interconnect.
+
+Two timing models of the same crossbar:
+
+* :class:`ReservedNoC` — Swift-Sim's hybrid form: each partition port
+  (request and response direction separately) is a bandwidth-limited
+  server whose next-free cycle is reserved at send time.  Contention is
+  tracked cycle-accurately through the reservations; the per-flit walk is
+  skipped.
+* :class:`DetailedNoC` — the Accel-Sim-like form: per-cycle queues, one
+  flit per port per cycle moved by an explicit :meth:`DetailedNoC.tick`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Tuple
+
+from repro.frontend.config import NoCConfig
+from repro.sim.module import ModelLevel, Module
+from repro.utils.bitops import ceil_div
+
+
+class ReservedNoC(Module):
+    """Reservation-based crossbar (hybrid modeling level)."""
+
+    component = "noc"
+    level = ModelLevel.HYBRID
+
+    def __init__(self, config: NoCConfig, num_partitions: int, name: str = "noc") -> None:
+        super().__init__(name)
+        self.config = config
+        self.num_partitions = num_partitions
+        self._request_free = [0] * num_partitions
+        self._response_free = [0] * num_partitions
+
+    def reset(self) -> None:
+        super().reset()
+        self._request_free = [0] * self.num_partitions
+        self._response_free = [0] * self.num_partitions
+
+    def _send(self, free: List[int], cycle: int, partition: int, flits: int) -> int:
+        start = free[partition]
+        if start < cycle:
+            start = cycle
+        else:
+            self.counters.add("stall_cycles", start - cycle)
+        occupancy = ceil_div(flits, self.config.flits_per_cycle)
+        free[partition] = start + occupancy
+        self.counters.add("flits", flits)
+        return start + occupancy - 1 + self.config.latency
+
+    def send_request(self, cycle: int, partition: int, flits: int = 1) -> int:
+        """Inject a request toward ``partition``; return its arrival cycle."""
+        return self._send(self._request_free, cycle, partition, flits)
+
+    def send_response(self, cycle: int, partition: int, flits: int = 1) -> int:
+        """Inject a response from ``partition``; return its arrival cycle."""
+        return self._send(self._response_free, cycle, partition, flits)
+
+
+class _Packet:
+    __slots__ = ("flits_left", "payload")
+
+    def __init__(self, flits: int, payload: object) -> None:
+        self.flits_left = flits
+        self.payload = payload
+
+
+class DetailedNoC(Module):
+    """Per-cycle crossbar with explicit queues (cycle-accurate level).
+
+    Packets injected with :meth:`send_request` / :meth:`send_response`
+    wait in a per-partition queue; every :meth:`tick` each port transmits
+    ``flits_per_cycle`` flits, and a packet whose last flit has moved is
+    delivered ``latency`` cycles later through the callback supplied at
+    construction.
+    """
+
+    component = "noc"
+    level = ModelLevel.CYCLE_ACCURATE
+
+    def __init__(
+        self,
+        config: NoCConfig,
+        num_partitions: int,
+        deliver_request: Callable[[int, object, int], None],
+        deliver_response: Callable[[int, object, int], None],
+        name: str = "noc",
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.num_partitions = num_partitions
+        self._deliver_request = deliver_request
+        self._deliver_response = deliver_response
+        self._request_queues: List[Deque[_Packet]] = [deque() for __ in range(num_partitions)]
+        self._response_queues: List[Deque[_Packet]] = [deque() for __ in range(num_partitions)]
+        self._in_flight: List[Tuple[int, int, bool, object]] = []  # (deliver_at, partition, is_request, payload)
+
+    def reset(self) -> None:
+        super().reset()
+        for queue in self._request_queues:
+            queue.clear()
+        for queue in self._response_queues:
+            queue.clear()
+        self._in_flight.clear()
+
+    def send_request(self, partition: int, payload: object, flits: int = 1) -> None:
+        self._request_queues[partition].append(_Packet(flits, payload))
+        self.counters.add("flits", flits)
+
+    def send_response(self, partition: int, payload: object, flits: int = 1) -> None:
+        self._response_queues[partition].append(_Packet(flits, payload))
+        self.counters.add("flits", flits)
+
+    @property
+    def busy(self) -> bool:
+        return bool(
+            self._in_flight
+            or any(self._request_queues)
+            or any(self._response_queues)
+        )
+
+    def tick(self, cycle: int) -> None:
+        """Move one cycle of flits and deliver matured packets."""
+        matured = [entry for entry in self._in_flight if entry[0] <= cycle]
+        if matured:
+            self._in_flight = [entry for entry in self._in_flight if entry[0] > cycle]
+            for deliver_at, partition, is_request, payload in matured:
+                if is_request:
+                    self._deliver_request(partition, payload, cycle)
+                else:
+                    self._deliver_response(partition, payload, cycle)
+        for partition in range(self.num_partitions):
+            self._advance(cycle, partition, self._request_queues[partition], True)
+            self._advance(cycle, partition, self._response_queues[partition], False)
+
+    def _advance(
+        self, cycle: int, partition: int, queue: Deque[_Packet], is_request: bool
+    ) -> None:
+        budget = self.config.flits_per_cycle
+        while budget > 0 and queue:
+            packet = queue[0]
+            moved = min(budget, packet.flits_left)
+            packet.flits_left -= moved
+            budget -= moved
+            if packet.flits_left == 0:
+                queue.popleft()
+                self._in_flight.append(
+                    (cycle + self.config.latency + 1, partition, is_request, packet.payload)
+                )
+        if queue:
+            self.counters.add("stall_cycles")

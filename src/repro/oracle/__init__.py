@@ -1,0 +1,5 @@
+"""Hardware oracle: the stand-in for real-GPU cycle measurements."""
+
+from repro.oracle.hardware import HardwareOracle
+
+__all__ = ["HardwareOracle"]

@@ -1,0 +1,90 @@
+"""Metrics Gatherer (paper §III-C).
+
+After a simulation finishes, the gatherer walks the module tree, reads
+every module's counters, and produces a :class:`MetricsReport` — a flat,
+queryable view with helpers for the derived metrics architects care
+about (IPC, cache miss rates, stall breakdowns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.module import Module
+
+
+class MetricsReport:
+    """Counter snapshot of one simulation, keyed by module name."""
+
+    def __init__(self, per_module: Dict[str, Dict[str, int]], total_cycles: int) -> None:
+        self.per_module = per_module
+        self.total_cycles = total_cycles
+
+    def modules(self) -> List[str]:
+        return sorted(self.per_module)
+
+    def get(self, module_name: str, counter: str, default: int = 0) -> int:
+        """One counter from one module."""
+        return self.per_module.get(module_name, {}).get(counter, default)
+
+    def total(self, counter: str, prefix: str = "") -> int:
+        """Sum ``counter`` over all modules whose name starts with ``prefix``."""
+        return sum(
+            counters.get(counter, 0)
+            for name, counters in self.per_module.items()
+            if name.startswith(prefix)
+        )
+
+    def rate(self, counter: str, base_counter: str, prefix: str = "") -> Optional[float]:
+        """Ratio of two summed counters, or None when the base is zero."""
+        base = self.total(base_counter, prefix)
+        if base == 0:
+            return None
+        return self.total(counter, prefix) / base
+
+    @property
+    def instructions(self) -> int:
+        """Total warp instructions committed."""
+        return self.total("instructions_committed")
+
+    @property
+    def ipc(self) -> float:
+        """Committed warp instructions per cycle across the whole GPU."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    def l1_miss_rate(self) -> Optional[float]:
+        return self.rate("sector_misses", "sector_accesses", prefix="l1")
+
+    def l2_miss_rate(self) -> Optional[float]:
+        return self.rate("sector_misses", "sector_accesses", prefix="l2")
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {name: dict(counters) for name, counters in self.per_module.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsReport(cycles={self.total_cycles}, "
+            f"instructions={self.instructions}, modules={len(self.per_module)})"
+        )
+
+
+class MetricsGatherer:
+    """Collects counters from a module hierarchy."""
+
+    def __init__(self, roots: Iterable[Module]) -> None:
+        self._roots = list(roots)
+
+    def gather(self, total_cycles: int) -> MetricsReport:
+        """Walk all registered roots and snapshot their counters."""
+        per_module: Dict[str, Dict[str, int]] = {}
+        for root in self._roots:
+            for module in root.walk():
+                counters = module.counters.as_dict()
+                if not counters:
+                    continue
+                merged = per_module.setdefault(module.name, {})
+                for key, value in counters.items():
+                    merged[key] = merged.get(key, 0) + value
+        return MetricsReport(per_module, total_cycles)

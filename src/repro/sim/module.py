@@ -1,0 +1,109 @@
+"""Module base class and performance counters.
+
+Every modeled GPU component — block scheduler, warp scheduler, execution
+units, caches, NoC, DRAM — derives from :class:`Module`.  A module
+declares which *component slot* it fills and at which
+:class:`ModelLevel` it models that component, so an assembled simulator
+can be introspected ("which parts of this GPU are analytical?") and the
+Metrics Gatherer can walk the hierarchy generically.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Dict, Iterator, List, Optional
+
+
+@unique
+class ModelLevel(Enum):
+    """How faithfully a module models its component."""
+
+    CYCLE_ACCURATE = "cycle_accurate"
+    HYBRID = "hybrid"          # fixed latencies + cycle-accurate contention
+    ANALYTICAL = "analytical"  # closed-form latency/throughput equations
+
+
+class Counters:
+    """A bag of named integer counters.
+
+    The Metrics Gatherer reads these; modules only ever add to them
+    (paper §III-C: "architects only need to update the code of the
+    counter within modules to collect the desired metrics").
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (created at zero)."""
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def peak(self, name: str, value: int) -> None:
+        """Track the maximum of ``value`` seen under ``name``."""
+        current = self._values.get(name)
+        if current is None or value > current:
+            self._values[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._values.get(name, default)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counters({self._values!r})"
+
+
+class Module:
+    """Base class for every modeled GPU component.
+
+    Subclasses set ``component`` (the slot name, e.g. ``"warp_scheduler"``)
+    and ``level``.  Modules form a tree via :meth:`add_child`; the
+    Metrics Gatherer walks this tree.
+    """
+
+    #: Component slot this module fills (subclasses override).
+    component: str = "module"
+    #: Modeling fidelity (subclasses override).
+    level: ModelLevel = ModelLevel.CYCLE_ACCURATE
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name if name is not None else type(self).__name__
+        self.counters = Counters()
+        self._children: List["Module"] = []
+
+    def add_child(self, child: "Module") -> "Module":
+        """Attach a sub-module and return it (for chaining at build time)."""
+        self._children.append(child)
+        return child
+
+    @property
+    def children(self) -> List["Module"]:
+        return list(self._children)
+
+    def walk(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for child in self._children:
+            yield from child.walk()
+
+    def reset(self) -> None:
+        """Clear counters here and below (modules override to clear state too)."""
+        self.counters.reset()
+        for child in self._children:
+            child.reset()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} [{self.level.value}]>"

@@ -1,0 +1,119 @@
+"""Modeling plans: per-component modeling choices.
+
+A :class:`ModelingPlan` records, for every component slot of the modeled
+GPU, which modeling approach to use.  The two simulators the paper
+builds are just two plans over the same framework:
+
+* ``SWIFT_BASIC_PLAN`` — hybrid ALU pipeline (fixed latency +
+  cycle-accurate contention), elided front-end/operand-collector,
+  cycle-accurate functional caches with reservation-based queue
+  contention for NoC/L2/DRAM;
+* ``SWIFT_MEMORY_PLAN`` — Basic, with the memory-access slot switched to
+  the Eq. 1 analytical model;
+* ``ACCEL_LIKE_PLAN`` — everything cycle-accurate (the baseline).
+
+Plans validate their choices against :data:`COMPONENTS` so a typo fails
+at assembly time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+from repro.errors import PlanError
+
+#: Component slots and the modeling choices each accepts.
+COMPONENTS: Dict[str, tuple] = {
+    # Block-to-SM assignment.
+    "block_scheduler": ("cycle_accurate",),
+    # Warp selection and issue. Always cycle-accurate in the paper's
+    # working example (it is the component under study).
+    "warp_scheduler": ("cycle_accurate",),
+    # Instruction fetch / i-buffer / decode front end.
+    "frontend": ("cycle_accurate", "elided"),
+    # Operand collector and register-file bank conflicts.
+    "operand_collector": ("cycle_accurate", "elided"),
+    # Arithmetic pipelines (paper §III-D1).
+    "alu_pipeline": ("cycle_accurate", "hybrid"),
+    # Global/local memory path (paper §III-D2). "queued" is the hybrid
+    # form: functional caches + reservation queues; "analytical" is Eq. 1.
+    "memory": ("cycle_accurate", "queued", "analytical"),
+    # Shared-memory access modeling.
+    "shared_memory": ("cycle_accurate", "analytical"),
+    # Engine clocking: per-cycle ticking vs exact event jumping.
+    "clocking": ("per_cycle", "event_jump"),
+}
+
+
+@dataclass(frozen=True)
+class ModelingPlan:
+    """A validated assignment of modeling choices to component slots."""
+
+    name: str
+    choices: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        merged = dict(_DEFAULT_CHOICES)
+        for slot, choice in dict(self.choices).items():
+            if slot not in COMPONENTS:
+                raise PlanError(
+                    f"unknown component slot {slot!r}; known slots: {sorted(COMPONENTS)}"
+                )
+            if choice not in COMPONENTS[slot]:
+                raise PlanError(
+                    f"component {slot!r} cannot be modeled as {choice!r}; "
+                    f"options: {COMPONENTS[slot]}"
+                )
+            merged[slot] = choice
+        object.__setattr__(self, "choices", merged)
+
+    def __getitem__(self, slot: str) -> str:
+        try:
+            return self.choices[slot]
+        except KeyError:
+            raise PlanError(f"unknown component slot {slot!r}") from None
+
+    def with_choice(self, slot: str, choice: str, name: str = "") -> "ModelingPlan":
+        """Derive a new plan with one slot changed (design-space helper)."""
+        updated = dict(self.choices)
+        updated[slot] = choice
+        return replace(self, name=name or f"{self.name}+{slot}={choice}", choices=updated)
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-slot summary."""
+        lines = [f"ModelingPlan {self.name!r}:"]
+        for slot in sorted(self.choices):
+            lines.append(f"  {slot:18s} -> {self.choices[slot]}")
+        return "\n".join(lines)
+
+
+_DEFAULT_CHOICES: Dict[str, str] = {
+    "block_scheduler": "cycle_accurate",
+    "warp_scheduler": "cycle_accurate",
+    "frontend": "cycle_accurate",
+    "operand_collector": "cycle_accurate",
+    "alu_pipeline": "cycle_accurate",
+    "memory": "cycle_accurate",
+    "shared_memory": "cycle_accurate",
+    "clocking": "per_cycle",
+}
+
+#: The fully cycle-accurate baseline (Accel-Sim stand-in).
+ACCEL_LIKE_PLAN = ModelingPlan("accel-like", {})
+
+#: Swift-Sim-Basic (paper §IV-A3).
+SWIFT_BASIC_PLAN = ModelingPlan(
+    "swift-basic",
+    {
+        "frontend": "elided",
+        "operand_collector": "elided",
+        "alu_pipeline": "hybrid",
+        "memory": "queued",
+        "shared_memory": "analytical",
+        "clocking": "event_jump",
+    },
+)
+
+#: Swift-Sim-Memory (paper §IV-A3): Basic + Eq. 1 analytical memory.
+SWIFT_MEMORY_PLAN = SWIFT_BASIC_PLAN.with_choice("memory", "analytical", name="swift-memory")

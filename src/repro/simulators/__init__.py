@@ -1,0 +1,34 @@
+"""Assembled GPU performance simulators.
+
+Three simulators built from the same framework modules, differing only
+in their :class:`~repro.sim.plan.ModelingPlan`:
+
+* :class:`AccelSimLike` — the fully cycle-accurate baseline,
+* :class:`SwiftSimBasic` — hybrid ALU pipeline (paper §III-D1),
+* :class:`SwiftSimMemory` — Basic + Eq. 1 analytical memory (§III-D2),
+
+plus the multiprocess parallel driver the paper's §IV-B2 speedup analysis
+uses.
+"""
+
+from repro.simulators.accel_like import AccelSimLike
+from repro.simulators.base import GPUSimulator, PlanSimulator
+from repro.simulators.interval import IntervalSimulator
+from repro.simulators.parallel import simulate_apps_parallel
+from repro.simulators.results import KernelResult, SimulationResult
+from repro.simulators.sampled import SampledSimulator
+from repro.simulators.swift_basic import SwiftSimBasic
+from repro.simulators.swift_memory import SwiftSimMemory
+
+__all__ = [
+    "AccelSimLike",
+    "GPUSimulator",
+    "IntervalSimulator",
+    "KernelResult",
+    "PlanSimulator",
+    "SampledSimulator",
+    "SimulationResult",
+    "SwiftSimBasic",
+    "SwiftSimMemory",
+    "simulate_apps_parallel",
+]

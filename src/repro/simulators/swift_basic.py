@@ -1,0 +1,22 @@
+"""Swift-Sim-Basic (paper §IV-A3).
+
+Built on the Swift-Sim framework by replacing the ALU pipeline with the
+hybrid analytical model of §III-D1 (fixed latency + cycle-accurate port
+contention) and simplifying the less critical front-end modules
+(instruction fetch, decode, operand collection are elided).  The memory
+path stays faithful — functional sectored caches with exact
+reservation-tracked queue contention — and the Warp Scheduler & Dispatch
+and Block Scheduler remain fully cycle-accurate, as in the paper's
+working example.
+"""
+
+from __future__ import annotations
+
+from repro.sim.plan import SWIFT_BASIC_PLAN
+from repro.simulators.base import PlanSimulator
+
+
+class SwiftSimBasic(PlanSimulator):
+    """Hybrid simulator: analytical ALU pipeline, simulated memory."""
+
+    plan = SWIFT_BASIC_PLAN

@@ -1,0 +1,19 @@
+"""Swift-Sim-Memory (paper §IV-A3).
+
+Swift-Sim-Basic with the memory data-access modules replaced by the
+classical analytical model of §III-D2: per-PC expected latency from
+Equation 1 with hit rates obtained from a profiling pre-pass (functional
+cache simulation by default, or the reuse-distance tool via
+``hit_rate_source="reuse_distance"``).
+"""
+
+from __future__ import annotations
+
+from repro.sim.plan import SWIFT_MEMORY_PLAN
+from repro.simulators.base import PlanSimulator
+
+
+class SwiftSimMemory(PlanSimulator):
+    """Hybrid simulator: analytical ALU pipeline and analytical memory."""
+
+    plan = SWIFT_MEMORY_PLAN

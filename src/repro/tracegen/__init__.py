@@ -1,0 +1,34 @@
+"""Synthetic workload (trace) generation.
+
+The paper drives its simulators with NVBit traces of applications from
+Rodinia, Polybench, Mars, Tango, and Pannotia.  Real traces need real
+GPUs, so this package synthesizes equivalent traces: every named
+application is generated with the instruction mix, memory-access
+pattern, divergence, and kernel structure characteristic of the real
+program (documented per app in :mod:`repro.tracegen.suites`).  The
+simulators consume traces through the same frontend either way.
+"""
+
+from repro.tracegen.base import KernelBuilder, Scale, WarpBuilder
+from repro.tracegen.patterns import (
+    broadcast_pattern,
+    coalesced_pattern,
+    random_pattern,
+    stencil_pattern,
+    strided_pattern,
+)
+from repro.tracegen.suites import APPLICATIONS, app_names, make_app
+
+__all__ = [
+    "APPLICATIONS",
+    "KernelBuilder",
+    "Scale",
+    "WarpBuilder",
+    "app_names",
+    "broadcast_pattern",
+    "coalesced_pattern",
+    "make_app",
+    "random_pattern",
+    "stencil_pattern",
+    "strided_pattern",
+]

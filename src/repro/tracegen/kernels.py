@@ -1,0 +1,327 @@
+"""Generic kernel-body generators.
+
+Each factory returns a :data:`~repro.tracegen.base.WarpGenerator` closure
+that fills one warp, parameterized by the knobs that distinguish real
+GPU kernels: instruction mix, memory pattern, working-set footprint,
+divergence, shared-memory usage, and synchronization.  The named
+applications in :mod:`repro.tracegen.suites` are compositions of these
+bodies with app-specific parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.frontend.trace import WARP_SIZE
+from repro.tracegen.base import WarpBuilder, divergent_mask, lanes_of
+from repro.tracegen.patterns import (
+    broadcast_pattern,
+    coalesced_pattern,
+    partial_row_pattern,
+    random_pattern,
+    shared_offsets,
+    stencil_pattern,
+    strided_pattern,
+)
+
+_ALL_LANES = list(range(WARP_SIZE))
+_FULL = (1 << WARP_SIZE) - 1
+
+
+def _warp_index(block_id: int, warp_id: int, warps_per_block: int) -> int:
+    return block_id * warps_per_block + warp_id
+
+
+def streaming_body(
+    warps_per_block: int,
+    iterations: int,
+    loads_per_iter: int = 1,
+    flops_per_load: int = 4,
+    store_every: int = 1,
+    opcode: str = "FFMA",
+    footprint_elements: int = 1 << 20,
+    int_ops_per_iter: int = 2,
+):
+    """BLAS-1 style streaming: coalesced loads, dependent arithmetic, store.
+
+    Models Polybench ATAX/BICG/MVT and Rodinia BACKPROP-style kernels.
+    """
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        acc = builder.alu("MOV")
+        for i in range(iterations):
+            index = gwarp * iterations + i
+            builder.alu_chain("IADD3", int_ops_per_iter)
+            values = []
+            for source in range(loads_per_iter):
+                addresses = coalesced_pattern(
+                    source, index, _ALL_LANES, wrap_elements=footprint_elements
+                )
+                values.append(builder.load(addresses))
+            for value in values:
+                for __ in range(flops_per_load):
+                    acc = builder.alu(opcode, (value, acc))
+            if store_every and (i + 1) % store_every == 0:
+                out = coalesced_pattern(
+                    7, index, _ALL_LANES, wrap_elements=footprint_elements
+                )
+                builder.store(out, acc)
+
+    return generate
+
+
+def gemm_body(
+    warps_per_block: int,
+    k_tiles: int,
+    inner: int = 8,
+    use_shared: bool = True,
+    use_tensor: bool = False,
+    b_strided: bool = True,
+    footprint_elements: int = 1 << 19,
+):
+    """Tiled matrix multiply: tile loads (B column-strided), shared-memory
+    staging with barriers, and an FFMA/HMMA inner product.
+
+    Models Polybench GEMM/2MM/CORR and the GEMM cores of the Tango nets.
+    """
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        acc = builder.alu("MOV")
+        for tile in range(k_tiles):
+            index = gwarp * k_tiles + tile
+            a_addrs = coalesced_pattern(
+                0, index, _ALL_LANES, wrap_elements=footprint_elements
+            )
+            a_reg = builder.load(a_addrs)
+            if b_strided:
+                # 384-byte stride: every lane its own line, lines rotating
+                # across the four L1 banks (uncoalesced but not bank-camped).
+                b_addrs = strided_pattern(
+                    1, index, _ALL_LANES, stride_bytes=384,
+                    wrap_bytes=footprint_elements * 4,
+                )
+            else:
+                b_addrs = broadcast_pattern(1, index % footprint_elements, _ALL_LANES)
+            b_reg = builder.load(b_addrs)
+            if use_shared:
+                builder.shared_store(shared_offsets(_ALL_LANES), a_reg)
+                builder.shared_store(shared_offsets(_ALL_LANES, base_word=WARP_SIZE), b_reg)
+                builder.barrier()
+                a_reg = builder.shared_load(shared_offsets(_ALL_LANES))
+                b_reg = builder.shared_load(shared_offsets(_ALL_LANES, base_word=WARP_SIZE))
+            opcode = "HMMA" if use_tensor else "FFMA"
+            for __ in range(inner):
+                acc = builder.alu(opcode, (a_reg, b_reg, acc))
+            if use_shared:
+                builder.barrier()
+        out = coalesced_pattern(7, gwarp, _ALL_LANES, wrap_elements=footprint_elements)
+        builder.store(out, acc)
+
+    return generate
+
+
+def stencil_body(
+    warps_per_block: int,
+    rows_per_warp: int,
+    width: int = 2048,
+    points: Sequence = ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)),
+    flops_per_point: int = 2,
+    region: int = 0,
+    out_region: int = 7,
+):
+    """Grid stencil sweep with neighbour reuse (HOTSPOT, SRAD, ADI, 2DCONV)."""
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        rows = width // 32 or 1
+        for r in range(rows_per_warp):
+            row = (gwarp * rows_per_warp + r) % rows
+            col_block = (gwarp + r) % max(1, width // WARP_SIZE)
+            acc = builder.alu("MOV")
+            builder.alu_chain("IADD3", 2)
+            for offset_row, offset_col in points:
+                addresses = stencil_pattern(
+                    region, row, col_block, _ALL_LANES, width,
+                    offset_rows=offset_row, offset_cols=offset_col,
+                )
+                value = builder.load(addresses)
+                for __ in range(flops_per_point):
+                    acc = builder.alu("FFMA", (value, acc))
+            out = stencil_pattern(out_region, row, col_block, _ALL_LANES, width)
+            builder.store(out, acc)
+
+    return generate
+
+
+def graph_body(
+    warps_per_block: int,
+    nodes_per_warp: int,
+    avg_degree: int,
+    footprint_bytes: int,
+    atomic_fraction: float = 0.1,
+    min_active: int = 4,
+    compute_per_edge: int = 2,
+):
+    """Irregular graph traversal: coalesced frontier reads, divergent
+    random neighbour gathers, occasional atomic updates (BFS, SSSP,
+    PAGERANK, COLOR, BC)."""
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        rng = builder.rng
+        for node in range(nodes_per_warp):
+            index = gwarp * nodes_per_warp + node
+            frontier = coalesced_pattern(0, index, _ALL_LANES)
+            node_reg = builder.load(frontier)
+            builder.alu("ISETP", (node_reg,))
+            builder.branch()
+            degree = max(1, round(rng.gauss(avg_degree, avg_degree / 3)))
+            for __ in range(degree):
+                mask = divergent_mask(rng, min_active=min_active)
+                lanes = lanes_of(mask)
+                neighbour = random_pattern(1, rng, lanes, footprint_bytes)
+                value = builder.load(neighbour, mask=mask)
+                builder.alu_chain("IADD3", compute_per_edge, seed_reg=value)
+                if rng.random() < atomic_fraction:
+                    target = random_pattern(2, rng, lanes, footprint_bytes)
+                    builder.atomic(target, value, mask=mask)
+
+    return generate
+
+
+def reduction_body(
+    warps_per_block: int,
+    iterations: int,
+    tree_levels: int = 5,
+    flops_per_element: int = 2,
+    footprint_elements: int = 1 << 20,
+):
+    """Load + shared-memory tree reduction with barriers (kernels inside
+    CORR, PAGERANK, KMEANS-style codes)."""
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        for i in range(iterations):
+            index = gwarp * iterations + i
+            addresses = coalesced_pattern(
+                0, index, _ALL_LANES, wrap_elements=footprint_elements
+            )
+            value = builder.load(addresses)
+            for __ in range(flops_per_element):
+                value = builder.alu("FADD", (value,))
+            builder.shared_store(shared_offsets(_ALL_LANES), value)
+            builder.barrier()
+            for level in range(tree_levels):
+                active = max(1, WARP_SIZE >> (level + 1))
+                mask = (1 << active) - 1
+                lanes = lanes_of(mask)
+                partial = builder.shared_load(
+                    shared_offsets(lanes, stride_words=1 << level), mask=mask
+                )
+                value = builder.alu("FADD", (partial, value))
+                builder.barrier()
+            out = coalesced_pattern(7, index, _ALL_LANES[:1], wrap_elements=1 << 16)
+            builder.store(out, value, mask=0x1)
+
+    return generate
+
+
+def text_body(
+    warps_per_block: int,
+    iterations: int,
+    compares_per_load: int = 6,
+    match_fraction: float = 0.15,
+    footprint_elements: int = 1 << 22,
+):
+    """Byte-stream scanning: INT-dominated compares over coalesced loads
+    with rare divergent match handling (Mars SM and WC)."""
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        rng = builder.rng
+        for i in range(iterations):
+            index = gwarp * iterations + i
+            addresses = coalesced_pattern(
+                0, index, _ALL_LANES, wrap_elements=footprint_elements
+            )
+            data = builder.load(addresses)
+            reg = data
+            for __ in range(compares_per_load):
+                reg = builder.alu("LOP3", (reg,))
+                builder.alu("ISETP", (reg,))
+            builder.branch()
+            if rng.random() < match_fraction:
+                mask = divergent_mask(rng, min_active=1, max_active=6)
+                lanes = lanes_of(mask)
+                out = random_pattern(7, rng, lanes, 1 << 20)
+                builder.atomic(out, reg, mask=mask)
+
+    return generate
+
+
+def dnn_body(
+    warps_per_block: int,
+    k_tiles: int,
+    inner: int = 6,
+    activation: str = "MUFU.EX2",
+    activations_per_tile: int = 2,
+    use_tensor: bool = False,
+    weight_elements: int = 1 << 16,
+    input_elements: int = 1 << 18,
+):
+    """DNN layer: weight-stationary GEMM with broadcast weight reuse and
+    SFU activations (Tango GRU/LSTM/ALEXNET)."""
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        acc = builder.alu("MOV")
+        for tile in range(k_tiles):
+            index = gwarp * k_tiles + tile
+            inputs = coalesced_pattern(0, index, _ALL_LANES, wrap_elements=input_elements)
+            in_reg = builder.load(inputs)
+            weights = broadcast_pattern(1, index % weight_elements, _ALL_LANES)
+            w_reg = builder.load(weights)
+            opcode = "HMMA" if use_tensor else "FFMA"
+            for __ in range(inner):
+                acc = builder.alu(opcode, (in_reg, w_reg, acc))
+            for __ in range(activations_per_tile):
+                acc = builder.alu(activation, (acc,))
+        out = coalesced_pattern(7, gwarp, _ALL_LANES, wrap_elements=input_elements)
+        builder.store(out, acc)
+
+    return generate
+
+
+def triangular_body(
+    warps_per_block: int,
+    num_blocks: int,
+    base_rows: int,
+    row_bytes: int = 4096,
+    flops_per_row: int = 6,
+    use_dp: bool = False,
+):
+    """Triangular solve / elimination: later blocks do less work, rows are
+    touched from their head (LU, GAUSSIAN, NW's wavefront tapering)."""
+
+    def generate(builder: WarpBuilder, block_id: int, warp_id: int) -> None:
+        gwarp = _warp_index(block_id, warp_id, warps_per_block)
+        # Work tapers with block id: the elimination shrinks.
+        taper = 1.0 - 0.75 * (block_id / max(1, num_blocks - 1)) if num_blocks > 1 else 1.0
+        rows = max(1, int(base_rows * taper))
+        opcode = "DFMA" if use_dp else "FFMA"
+        pivot = builder.load(broadcast_pattern(2, block_id, _ALL_LANES))
+        builder.alu("MUFU.RCP", (pivot,))
+        for r in range(rows):
+            row_index = gwarp * base_rows + r
+            addresses = partial_row_pattern(0, row_index, _ALL_LANES, row_bytes=row_bytes)
+            value = builder.load(addresses)
+            acc = value
+            for __ in range(flops_per_row):
+                acc = builder.alu(opcode, (value, acc))
+            builder.store(
+                partial_row_pattern(7, row_index, _ALL_LANES, row_bytes=row_bytes), acc
+            )
+
+    return generate

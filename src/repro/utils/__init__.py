@@ -1,0 +1,31 @@
+"""Small shared utilities: bit manipulation, statistics, deterministic RNG."""
+
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bit_count,
+    ceil_div,
+    full_mask,
+    is_pow2,
+    log2_exact,
+    mask_iter,
+)
+from repro.utils.rng import derive_seed, stable_hash
+from repro.utils.stats import geomean, mean_abs_pct_error, pct_error, summarize
+
+__all__ = [
+    "align_down",
+    "align_up",
+    "bit_count",
+    "ceil_div",
+    "derive_seed",
+    "full_mask",
+    "geomean",
+    "is_pow2",
+    "log2_exact",
+    "mask_iter",
+    "mean_abs_pct_error",
+    "pct_error",
+    "stable_hash",
+    "summarize",
+]

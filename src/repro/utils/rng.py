@@ -1,0 +1,26 @@
+"""Deterministic seeding helpers.
+
+Trace generation and the hardware oracle must be reproducible run-to-run
+and independent of Python's per-process hash randomization, so seeds are
+derived with a stable FNV-1a hash over string labels.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(text: str) -> int:
+    """64-bit FNV-1a hash of ``text``, stable across processes and runs."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def derive_seed(*labels: object) -> int:
+    """Derive a reproducible 63-bit seed from any sequence of labels."""
+    return stable_hash("\x1f".join(str(label) for label in labels)) >> 1

@@ -1,0 +1,53 @@
+"""Statistics used by the evaluation harness (geomean speedups, errors)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's speedup aggregate)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def pct_error(predicted: float, actual: float) -> float:
+    """Signed relative error of ``predicted`` against ``actual``, in percent."""
+    if actual == 0:
+        raise ValueError("actual value must be non-zero")
+    return 100.0 * (predicted - actual) / actual
+
+
+def mean_abs_pct_error(pairs: Iterable[Sequence[float]]) -> float:
+    """Mean absolute percentage error over (predicted, actual) pairs.
+
+    This is the "mean error" metric Figure 4 and Figure 6 report.
+    """
+    errors = [abs(pct_error(p, a)) for p, a in pairs]
+    if not errors:
+        raise ValueError("no (predicted, actual) pairs supplied")
+    return sum(errors) / len(errors)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return min/max/mean/median of a non-empty sequence."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    ordered = sorted(values)
+    count = len(ordered)
+    middle = count // 2
+    if count % 2:
+        median = ordered[middle]
+    else:
+        median = 0.5 * (ordered[middle - 1] + ordered[middle])
+    return {
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(ordered) / count,
+        "median": median,
+    }

@@ -1,0 +1,85 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.errors import SwiftSimError
+from repro.eval.ascii_chart import bar_chart, grouped_bar_chart, log_scatter
+
+
+class TestBarChart:
+    def test_values_rendered_proportionally(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_and_values_present(self):
+        text = bar_chart({"alpha": 3.0, "b": 1.0}, title="T", unit="%")
+        assert text.startswith("T")
+        assert "alpha" in text and "3.0%" in text
+
+    def test_zero_values_allowed(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "|" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(SwiftSimError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(SwiftSimError):
+            bar_chart({"a": -1.0})
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(SwiftSimError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestGroupedBarChart:
+    def test_legend_and_groups(self):
+        text = grouped_bar_chart(
+            {"bfs": {"basic": 10.0, "memory": 12.0},
+             "nw": {"basic": 5.0, "memory": 20.0}},
+            series_order=["basic", "memory"],
+        )
+        assert "#=basic" in text and "*=memory" in text
+        assert "bfs" in text and "nw" in text
+
+    def test_two_rows_per_group(self):
+        text = grouped_bar_chart({"x": {"a": 1.0, "b": 2.0}})
+        bars = [line for line in text.splitlines() if "|" in line]
+        assert len(bars) == 2
+
+    def test_missing_series_treated_as_zero(self):
+        text = grouped_bar_chart(
+            {"x": {"a": 1.0}, "y": {"a": 1.0, "b": 4.0}},
+            series_order=["a", "b"],
+        )
+        assert "0.0" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(SwiftSimError):
+            grouped_bar_chart({})
+
+
+class TestLogScatter:
+    def test_min_and_max_at_edges(self):
+        text = log_scatter({"slow": 1.0, "fast": 1000.0}, width=20)
+        lines = [l for l in text.splitlines() if "|" in l]
+        slow_pos = lines[0].index("*")
+        fast_pos = lines[1].index("*")
+        assert fast_pos - slow_pos == 19
+
+    def test_log_spacing(self):
+        text = log_scatter({"a": 1.0, "b": 10.0, "c": 100.0}, width=21)
+        positions = [line.index("*") for line in text.splitlines() if "|" in line]
+        # Log scale: equal ratios, equal spacing.
+        assert positions[1] - positions[0] == positions[2] - positions[1]
+
+    def test_identical_values(self):
+        text = log_scatter({"a": 5.0, "b": 5.0})
+        assert text.count("*") == 2
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SwiftSimError):
+            log_scatter({"a": 0.0})

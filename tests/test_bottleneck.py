@@ -1,0 +1,66 @@
+"""Tests for the bottleneck analyzer."""
+
+import pytest
+
+from repro.eval.bottleneck import (
+    BALANCED,
+    COMPUTE_BOUND,
+    MEMORY_BANDWIDTH_BOUND,
+    MEMORY_LATENCY_BOUND,
+    OCCUPANCY_BOUND,
+    analyze,
+)
+from repro.simulators.swift_basic import SwiftSimBasic
+from repro.tracegen.suites import make_app
+
+from conftest import alu, make_single_warp_app, make_tiny_gpu
+
+
+class TestAnalyze:
+    def _run(self, tiny_gpu, app):
+        result = SwiftSimBasic(tiny_gpu).simulate(app)
+        return analyze(result.metrics, tiny_gpu)
+
+    def test_pure_alu_app_not_memory_bound(self, tiny_gpu):
+        app = make_single_warp_app(
+            [alu(16 * i, 40 + (i % 100), opcode="IADD3") for i in range(200)]
+        )
+        report = self._run(tiny_gpu, app)
+        assert report.memory_intensity < 0.05
+        assert report.classification in (COMPUTE_BOUND, OCCUPANCY_BOUND, BALANCED)
+        assert report.l1_miss_rate is None
+
+    def test_graph_app_memory_pressured(self, tiny_gpu):
+        report = self._run(tiny_gpu, make_app("bfs", scale="tiny"))
+        assert report.memory_intensity > 0.3
+        assert report.l1_miss_rate is not None
+        assert report.classification in (
+            MEMORY_LATENCY_BOUND, MEMORY_BANDWIDTH_BOUND, OCCUPANCY_BOUND, BALANCED,
+        )
+
+    def test_fractions_in_range(self, tiny_gpu):
+        report = self._run(tiny_gpu, make_app("gemm", scale="tiny"))
+        for value in (
+            report.issue_utilization,
+            report.stall_fraction,
+            report.idle_fraction,
+        ):
+            assert 0.0 <= value <= 1.0
+        if report.dram_bandwidth_utilization is not None:
+            assert 0.0 <= report.dram_bandwidth_utilization <= 1.0
+
+    def test_render_mentions_everything(self, tiny_gpu):
+        report = self._run(tiny_gpu, make_app("sm", scale="tiny"))
+        text = report.render()
+        for fragment in (
+            "classification", "issue utilization", "memory intensity",
+            "L1 miss rate", "DRAM bandwidth",
+        ):
+            assert fragment in text
+
+    def test_streaming_app_misses_more_than_gemm(self, tiny_gpu):
+        # ADI streams fresh data; GEMM re-reads staged tiles. The analyzer
+        # must expose that difference through the L1 miss rate.
+        adi = self._run(tiny_gpu, make_app("adi", scale="tiny"))
+        gemm = self._run(tiny_gpu, make_app("gemm", scale="tiny"))
+        assert adi.l1_miss_rate > gemm.l1_miss_rate

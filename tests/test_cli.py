@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.frontend.config_io import save_gpu_config
+
+from conftest import make_tiny_gpu
+
+
+@pytest.fixture
+def tiny_config_path(tmp_path):
+    path = tmp_path / "tiny.json"
+    save_gpu_config(make_tiny_gpu(), path)
+    return str(path)
+
+
+class TestInformational:
+    def test_apps_lists_all(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bfs", "gemm", "sm", "gru", "pagerank"):
+            assert name in out
+        for suite in ("rodinia", "polybench", "mars", "tango", "pannotia"):
+            assert suite in out
+
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "rtx2080ti" in out and "68 SMs" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out and "TABLE II" in out and "4352" in out
+
+
+class TestSimulate:
+    def test_simulate_preset_app(self, capsys, tiny_config_path):
+        code = main([
+            "simulate", "--app", "gemm", "--scale", "tiny",
+            "--config", tiny_config_path, "--simulator", "swift-basic",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "swift-basic" in out and "ipc" in out
+
+    def test_simulate_with_metrics_dump(self, capsys, tiny_config_path):
+        code = main([
+            "simulate", "--app", "sm", "--scale", "tiny",
+            "--config", tiny_config_path, "--metrics",
+        ])
+        assert code == 0
+        assert "instructions_committed" in capsys.readouterr().out
+
+    def test_simulate_from_trace_file(self, capsys, tmp_path, tiny_config_path):
+        trace_path = tmp_path / "app.trace"
+        assert main(["trace", "--app", "nw", "--scale", "tiny",
+                     "--out", str(trace_path)]) == 0
+        capsys.readouterr()
+        code = main([
+            "simulate", "--trace", str(trace_path), "--config", tiny_config_path,
+        ])
+        assert code == 0
+        assert "nw" in capsys.readouterr().out
+
+    def test_unknown_app_exits_2(self, capsys):
+        assert main(["simulate", "--app", "crysis"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_app_and_trace_exits_2(self, capsys):
+        assert main(["simulate"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_unknown_preset_exits_2(self, capsys):
+        assert main(["simulate", "--app", "bfs", "--gpu", "voodoo2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_prints_all_simulators(self, capsys, tiny_config_path):
+        code = main([
+            "compare", "--app", "gemm", "--scale", "tiny",
+            "--config", tiny_config_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("accel-like", "swift-basic", "swift-memory", "interval", "oracle"):
+            assert name in out
+
+
+class TestAnalyze:
+    def test_analyze_prints_bottleneck_report(self, capsys, tiny_config_path):
+        code = main([
+            "analyze", "--app", "bfs", "--scale", "tiny",
+            "--config", tiny_config_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bottleneck classification" in out
+        assert "memory intensity" in out
+
+    def test_simulate_with_interval_simulator(self, capsys, tiny_config_path):
+        code = main([
+            "simulate", "--app", "sm", "--scale", "tiny",
+            "--config", tiny_config_path, "--simulator", "interval",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interval-analytical" in out
+
+
+class TestReportCommand:
+    def test_report_writes_file(self, capsys, tmp_path, monkeypatch):
+        import repro.eval.report as report_module
+        monkeypatch.setattr(
+            report_module, "generate_report",
+            lambda **kwargs: "# stub report\n",
+        )
+        out_path = tmp_path / "EXP.md"
+        code = main(["report", "--scale", "tiny", "--out", str(out_path)])
+        assert code == 0
+        assert out_path.read_text() == "# stub report\n"
+        assert "wrote report" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_figure4_subset(self, capsys, monkeypatch):
+        # Full presets are too slow for unit tests; patch the default GPU.
+        import repro.eval.figures as figures
+        monkeypatch.setattr(figures, "RTX_2080_TI", make_tiny_gpu())
+        code = main(["figure4", "--scale", "tiny", "--apps", "gemm,sm"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIGURE 4" in out and "gemm" in out and "MEAN/GEOMEAN" in out

@@ -1,0 +1,50 @@
+"""Unit tests for the memory-access coalescer."""
+
+from repro.memory.access import SectorTransaction, coalesce
+
+
+class TestCoalesce:
+    def test_fully_coalesced_4byte_stride(self):
+        addrs = [0x1000 + 4 * i for i in range(32)]
+        txs = coalesce(addrs)
+        assert len(txs) == 4  # 32 threads x 4B = 128B = 4 sectors
+        assert all(tx.line_addr == 0x1000 // 128 for tx in txs)
+        assert sorted(tx.sector for tx in txs) == [0, 1, 2, 3]
+        assert all(tx.thread_count == 8 for tx in txs)
+
+    def test_broadcast_single_transaction(self):
+        txs = coalesce([0x2000] * 32)
+        assert len(txs) == 1
+        assert txs[0].thread_count == 32
+
+    def test_fully_divergent_line_strides(self):
+        addrs = [0x10000 + 128 * i for i in range(32)]
+        txs = coalesce(addrs)
+        assert len(txs) == 32
+        assert len({tx.line_addr for tx in txs}) == 32
+
+    def test_sector_boundary_within_line(self):
+        # 8 threads per 32B sector at 4B elements.
+        txs = coalesce([0, 31, 32, 127])
+        sectors = {(tx.line_addr, tx.sector) for tx in txs}
+        assert sectors == {(0, 0), (0, 1), (0, 3)}
+
+    def test_first_touch_order_preserved(self):
+        txs = coalesce([128, 0])
+        assert [tx.line_addr for tx in txs] == [1, 0]
+
+    def test_misaligned_accesses_straddle(self):
+        txs = coalesce([30, 34])
+        assert {(tx.line_addr, tx.sector) for tx in txs} == {(0, 0), (0, 1)}
+
+    def test_custom_geometry(self):
+        txs = coalesce([0, 64], line_bytes=64, sector_bytes=64)
+        assert {(tx.line_addr, tx.sector) for tx in txs} == {(0, 0), (1, 0)}
+
+    def test_empty_addresses(self):
+        assert coalesce([]) == []
+
+    def test_transaction_equality(self):
+        assert SectorTransaction(1, 2, 3) == SectorTransaction(1, 2, 3)
+        assert SectorTransaction(1, 2, 3) != SectorTransaction(1, 3, 3)
+        assert hash(SectorTransaction(1, 2, 3)) == hash(SectorTransaction(1, 2, 5))

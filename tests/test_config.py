@@ -1,0 +1,189 @@
+"""Unit tests for the hardware configuration tree and presets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.frontend.config import (
+    CacheConfig,
+    DRAMConfig,
+    ExecUnitConfig,
+    GPUConfig,
+    NoCConfig,
+    SMConfig,
+)
+from repro.frontend.isa import UnitClass
+from repro.frontend.presets import GPU_PRESETS, RTX_2080_TI, RTX_3060, RTX_3090, get_preset
+
+from conftest import make_tiny_gpu
+
+
+class TestExecUnitConfig:
+    def test_dispatch_interval_full_width(self):
+        assert ExecUnitConfig(UnitClass.SP, 32, 4).dispatch_interval == 1
+
+    def test_dispatch_interval_half_width(self):
+        assert ExecUnitConfig(UnitClass.SP, 16, 4).dispatch_interval == 2
+
+    def test_dispatch_interval_fractional_lanes(self):
+        assert ExecUnitConfig(UnitClass.DP, 0.5, 40).dispatch_interval == 64
+
+    def test_rejects_nonpositive_lanes(self):
+        with pytest.raises(ConfigError):
+            ExecUnitConfig(UnitClass.INT, 0, 4)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigError):
+            ExecUnitConfig(UnitClass.INT, 16, 0)
+
+
+class TestCacheConfig:
+    def test_geometry_derivations(self):
+        cache = CacheConfig(size_bytes=32 * 1024, line_bytes=128, assoc=4)
+        assert cache.num_lines == 256
+        assert cache.num_sets == 64
+        assert cache.sectors_per_line == 4
+
+    def test_rejects_sector_bigger_than_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, line_bytes=64, sector_bytes=128)
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1200, line_bytes=120)
+
+    def test_rejects_uneven_sets(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=128 * 10, line_bytes=128, assoc=3)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=8 * 1024, replacement="PLRU")
+
+    def test_accepts_all_replacements(self):
+        for policy in ("LRU", "FIFO", "RANDOM"):
+            CacheConfig(size_bytes=8 * 1024, replacement=policy)
+
+
+class TestSMConfig:
+    def test_requires_exec_units(self):
+        with pytest.raises(ConfigError):
+            SMConfig(exec_units=())
+
+    def test_rejects_duplicate_units(self):
+        units = (
+            ExecUnitConfig(UnitClass.INT, 16, 4),
+            ExecUnitConfig(UnitClass.INT, 16, 4),
+        )
+        with pytest.raises(ConfigError):
+            SMConfig(exec_units=units)
+
+    def test_warps_must_divide_across_subcores(self):
+        units = (ExecUnitConfig(UnitClass.INT, 16, 4),)
+        with pytest.raises(ConfigError):
+            SMConfig(exec_units=units, sub_cores=4, max_warps=30)
+
+    def test_unit_config_lookup(self):
+        gpu = make_tiny_gpu()
+        assert gpu.sm.unit_config(UnitClass.SFU).lanes == 4
+        with pytest.raises(ConfigError):
+            make_tiny_gpu().with_sm(
+                exec_units=(ExecUnitConfig(UnitClass.INT, 16, 4),)
+            ).sm.unit_config(UnitClass.TENSOR)
+
+    def test_max_warps_per_subcore(self):
+        gpu = make_tiny_gpu()
+        assert gpu.sm.max_warps_per_subcore == gpu.sm.max_warps // gpu.sm.sub_cores
+
+    def test_rejects_unknown_scheduler(self):
+        units = (ExecUnitConfig(UnitClass.INT, 16, 4),)
+        with pytest.raises(ConfigError):
+            SMConfig(exec_units=units, scheduler_policy="FANCY")
+
+
+class TestGPUConfig:
+    def test_l2_slice_divides(self):
+        gpu = make_tiny_gpu()
+        slice_config = gpu.l2_slice
+        assert slice_config.size_bytes * gpu.memory_partitions == gpu.l2.size_bytes
+
+    def test_rejects_uneven_l2_split(self):
+        with pytest.raises(ConfigError):
+            make_tiny_gpu(memory_partitions=3)
+
+    def test_with_sm_returns_modified_copy(self):
+        gpu = make_tiny_gpu()
+        modified = gpu.with_sm(scheduler_policy="LRR")
+        assert modified.sm.scheduler_policy == "LRR"
+        assert gpu.sm.scheduler_policy == "GTO"
+
+    def test_with_l1_l2(self):
+        gpu = make_tiny_gpu()
+        assert gpu.with_l1(size_bytes=16 * 1024).l1.size_bytes == 16 * 1024
+        assert gpu.with_l2(latency=99).l2.latency == 99
+
+    def test_dram_row_hit_cannot_exceed_miss(self):
+        with pytest.raises(ConfigError):
+            DRAMConfig(latency=100, row_hit_latency=150)
+
+    def test_noc_flit_pow2(self):
+        with pytest.raises(ConfigError):
+            NoCConfig(flit_bytes=24)
+
+
+class TestPresets:
+    def test_table1_sm_counts(self):
+        assert RTX_2080_TI.num_sms == 68
+        assert RTX_3060.num_sms == 28
+        assert RTX_3090.num_sms == 82
+
+    def test_table1_cuda_cores(self):
+        assert RTX_2080_TI.cuda_cores == 4352
+        assert RTX_3060.cuda_cores == 3584
+        assert RTX_3090.cuda_cores == 10496
+
+    def test_table1_l2_sizes(self):
+        assert RTX_2080_TI.l2.size_bytes == 5632 * 1024
+        assert RTX_3060.l2.size_bytes == 3 * 1024 * 1024
+        assert RTX_3090.l2.size_bytes == 6 * 1024 * 1024
+
+    def test_table2_sm_resources(self):
+        sm = RTX_2080_TI.sm
+        assert sm.sub_cores == 4
+        assert sm.scheduler_policy == "GTO"
+        assert sm.unit_config(UnitClass.INT).lanes == 16
+        assert sm.unit_config(UnitClass.SP).lanes == 16
+        assert sm.unit_config(UnitClass.DP).lanes == 0.5
+        assert sm.unit_config(UnitClass.SFU).lanes == 4
+        assert sm.ldst_units == 4
+
+    def test_table2_l1(self):
+        l1 = RTX_2080_TI.l1
+        assert l1.streaming and not l1.write_back
+        assert l1.banks == 4
+        assert l1.line_bytes == 128 and l1.sector_bytes == 32
+        assert l1.mshr_entries == 256 and l1.mshr_max_merge == 8
+        assert l1.replacement == "LRU" and l1.latency == 32
+
+    def test_table2_l2(self):
+        l2 = RTX_2080_TI.l2
+        assert l2.write_back
+        assert l2.mshr_entries == 192 and l2.mshr_max_merge == 4
+        assert l2.latency == 188
+
+    def test_table2_memory(self):
+        assert RTX_2080_TI.memory_partitions == 22
+        assert RTX_2080_TI.dram.latency == 227
+
+    def test_get_preset_by_key_and_display_name(self):
+        assert get_preset("rtx2080ti") is RTX_2080_TI
+        assert get_preset("RTX 2080 Ti") is RTX_2080_TI
+        assert get_preset("rtx_3060") is RTX_3060
+
+    def test_get_preset_unknown(self):
+        with pytest.raises(ConfigError):
+            get_preset("gtx480")
+
+    def test_all_presets_build_l2_slices(self):
+        for preset in GPU_PRESETS.values():
+            slice_config = preset.l2_slice
+            assert slice_config.num_lines % slice_config.assoc == 0

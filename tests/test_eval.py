@@ -1,0 +1,117 @@
+"""Tests for the evaluation harness, tables, and figure generators."""
+
+import pytest
+
+from repro.eval.harness import AppEvaluation, EvaluationHarness, SuiteEvaluation
+from repro.eval.tables import render_table1, render_table2, table1_rows, table2_rows
+from repro.eval.figures import BASIC, MEMORY, ACCEL, figure5
+from repro.simulators.accel_like import AccelSimLike
+from repro.simulators.swift_basic import SwiftSimBasic
+
+from conftest import make_tiny_gpu
+
+
+class TestTables:
+    def test_table1_matches_paper_values(self):
+        text = render_table1()
+        for expected in ("68", "28", "82", "4352", "3584", "10496",
+                         "5.5MB", "3MB", "6MB", "Turing", "Ampere",
+                         "TU102", "GA106", "GA102"):
+            assert expected in text
+
+    def test_table2_matches_paper_values(self):
+        text = render_table2()
+        for expected in ("68", "GTO", "INT:16x", "SP:16x", "DP:0.5x", "SFU:4x",
+                         "256 MSHR", "192 MSHR", "LRU", "32 cycles", "188 cycles",
+                         "22 memory partitions", "227 cycles", "write-through",
+                         "write-back", "streaming"):
+            assert expected in text
+
+    def test_table_rows_structured(self):
+        rows = table1_rows()
+        assert rows[3]["attribute"] == "SMs"
+        assert rows[3]["RTX 2080 Ti"] == "68"
+        params = {r["parameter"] for r in table2_rows()}
+        assert {"# SMs", "Exec Units", "L1 in SM", "L2 Cache", "Memory"} <= params
+
+
+class TestHarness:
+    def test_evaluate_two_simulators(self):
+        gpu = make_tiny_gpu()
+        harness = EvaluationHarness(gpu, scale="tiny", apps=["gemm", "sm"])
+        suite = harness.evaluate(
+            {ACCEL: AccelSimLike(gpu), BASIC: SwiftSimBasic(gpu)}
+        )
+        assert len(suite.rows) == 2
+        assert suite.simulators() == sorted([ACCEL, BASIC])
+        for row in suite.rows:
+            assert row.oracle_cycles > 0
+            assert row.error_pct(BASIC) >= 0
+            assert row.speedup(BASIC, ACCEL) > 0
+
+    def test_mean_error_and_geomean(self):
+        suite = SuiteEvaluation(gpu_name="g", scale="tiny")
+        suite.rows = [
+            AppEvaluation("a", "s", 100, {"x": 110, "y": 100}, {"x": 1.0, "y": 2.0}),
+            AppEvaluation("b", "s", 200, {"x": 160, "y": 200}, {"x": 1.0, "y": 8.0}),
+        ]
+        assert suite.mean_error("x") == pytest.approx((10 + 20) / 2)
+        assert suite.mean_error("y") == 0.0
+        assert suite.geomean_speedup("y", "x") == pytest.approx(0.25)
+        assert suite.max_speedup("x", "y") == pytest.approx(8.0)
+
+    def test_signed_error(self):
+        row = AppEvaluation("a", "s", 100, {"x": 80}, {"x": 1.0})
+        assert row.signed_error_pct("x") == pytest.approx(-20.0)
+        assert row.error_pct("x") == pytest.approx(20.0)
+
+
+class TestFigureChart:
+    def test_figure4_render_chart(self, monkeypatch):
+        import repro.eval.figures as figures
+        monkeypatch.setattr(figures, "RTX_2080_TI", make_tiny_gpu())
+        data = figures.figure4(scale="tiny", apps=["gemm", "sm"])
+        chart = data.render_chart()
+        assert "prediction error" in chart
+        assert "#=basic" in chart and "*=memory" in chart
+        assert "speedup over baseline" in chart
+        assert "(log scale)" in chart
+
+
+class TestReport:
+    def test_generate_report_structure(self, monkeypatch):
+        import repro.eval.figures as figures
+        tiny = make_tiny_gpu()
+        monkeypatch.setattr(figures, "RTX_2080_TI", tiny)
+        monkeypatch.setattr(figures, "RTX_3060", make_tiny_gpu(name="TestGPU-B"))
+        monkeypatch.setattr(figures, "RTX_3090", make_tiny_gpu(name="TestGPU-C"))
+        from repro.eval.report import generate_report
+        text = generate_report(scale="tiny", apps=["gemm", "sm"], workers=1)
+        for fragment in (
+            "# EXPERIMENTS",
+            "Table I / Table II",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "| mean error, Swift-Sim-Basic | 22.6% |",
+            "82.6x",
+            "211.2x",
+            "Ablations",
+        ):
+            assert fragment in text, fragment
+
+
+class TestFigure5:
+    def test_contributions_compose(self):
+        gpu = make_tiny_gpu()
+        data = figure5(gpu, scale="tiny", apps=["gemm", "sm"], workers=2)
+        assert data.basic_single > 0
+        assert data.memory_single > 0
+        assert data.memory_over_basic == pytest.approx(
+            data.memory_single / data.basic_single
+        )
+        assert data.basic_total == pytest.approx(
+            data.basic_single * data.parallel_gain_basic
+        )
+        text = data.render()
+        assert "FIGURE 5" in text and "Parallel gain" in text

@@ -1,0 +1,152 @@
+"""Unit tests for execution units: the per-cycle pipelined unit, the
+hybrid ALU model (paper §III-D1), and the result bus."""
+
+import pytest
+
+from repro.core.alu_analytical import HybridALUModel
+from repro.core.execution_unit import PipelinedExecutionUnit, ResultBus
+from repro.frontend.config import ExecUnitConfig
+from repro.frontend.isa import UnitClass
+from repro.sim.ports import PENDING, CompletionListener
+
+from conftest import alu
+
+
+class _Recorder(CompletionListener):
+    def __init__(self):
+        self.completed = []
+
+    def on_complete(self, warp, inst, cycle):
+        self.completed.append((inst, cycle))
+
+
+def sp_config(lanes=16, latency=4):
+    return ExecUnitConfig(UnitClass.SP, lanes, latency)
+
+
+class TestResultBus:
+    def test_width_limits_grants_per_cycle(self):
+        bus = ResultBus(width=2)
+        assert bus.grant(5)
+        assert bus.grant(5)
+        assert not bus.grant(5)
+        assert bus.grant(6)
+
+    def test_reset(self):
+        bus = ResultBus(width=1)
+        bus.grant(5)
+        bus.reset()
+        assert bus.grant(5)
+
+
+class TestHybridALU:
+    def test_fixed_latency_completion(self):
+        unit = HybridALUModel(sp_config())
+        inst = alu(0, 1, opcode="FFMA")
+        completion = unit.try_issue(None, inst, cycle=10)
+        # dispatch interval 2, latency 4: 10 + 2 - 1 + 4.
+        assert completion == 15
+
+    def test_port_contention_rejects(self):
+        unit = HybridALUModel(sp_config())
+        inst = alu(0, 1, opcode="FFMA")
+        unit.try_issue(None, inst, cycle=10)
+        assert unit.try_issue(None, inst, cycle=11) is None
+        assert unit.port_free_cycle == 12
+        assert unit.try_issue(None, inst, cycle=12) == 17
+        assert unit.counters.get("dispatch_stalls") == 1
+
+    def test_latency_factor_scales(self):
+        unit = HybridALUModel(ExecUnitConfig(UnitClass.SFU, 4, 10))
+        fast = unit.try_issue(None, alu(0, 1, opcode="MUFU.RCP"), 0)
+        unit.reset()
+        slow = unit.try_issue(None, alu(0, 1, opcode="MUFU.SIN"), 0)
+        assert slow - fast == 10  # factor 2 doubles the 10-cycle latency
+
+    def test_dp_dispatch_interval(self):
+        unit = HybridALUModel(ExecUnitConfig(UnitClass.DP, 0.5, 40))
+        unit.try_issue(None, alu(0, 1, opcode="DFMA"), 0)
+        assert unit.port_free_cycle == 64
+
+    def test_reset(self):
+        unit = HybridALUModel(sp_config())
+        unit.try_issue(None, alu(0, 1, opcode="FFMA"), 0)
+        unit.reset()
+        assert unit.try_issue(None, alu(0, 1, opcode="FFMA"), 0) is not None
+
+
+class TestPipelinedUnit:
+    def test_returns_pending_and_completes_via_tick(self):
+        listener = _Recorder()
+        unit = PipelinedExecutionUnit(sp_config(), listener, ResultBus(1))
+        inst = alu(0, 1, opcode="FFMA")
+        assert unit.try_issue(None, inst, cycle=0) is PENDING
+        for cycle in range(0, 20):
+            unit.tick(cycle)
+        assert listener.completed == [(inst, 5)]  # 0 + 2 - 1 + 4
+
+    def test_same_nominal_latency_as_hybrid(self):
+        # The hybrid model replaces the pipeline walk with the same fixed
+        # latency — uncontended completions must agree (Figure 3).
+        listener = _Recorder()
+        bus = ResultBus(1)
+        pipelined = PipelinedExecutionUnit(sp_config(), listener, bus)
+        hybrid = HybridALUModel(sp_config())
+        inst = alu(0, 1, opcode="FFMA")
+        expected = hybrid.try_issue(None, inst, cycle=0)
+        pipelined.try_issue(None, inst, cycle=0)
+        for cycle in range(0, 20):
+            pipelined.tick(cycle)
+        assert listener.completed[0][1] == expected
+
+    def test_result_bus_contention_delays_writeback(self):
+        listener = _Recorder()
+        bus = ResultBus(width=1)
+        int_unit = PipelinedExecutionUnit(
+            ExecUnitConfig(UnitClass.INT, 32, 4), listener, bus
+        )
+        sp_unit = PipelinedExecutionUnit(
+            ExecUnitConfig(UnitClass.SP, 32, 4), listener, bus
+        )
+        a = alu(0, 1, opcode="IADD3")
+        b = alu(16, 2, opcode="FFMA")
+        int_unit.try_issue(None, a, cycle=0)
+        sp_unit.try_issue(None, b, cycle=0)
+        for cycle in range(0, 20):
+            int_unit.tick(cycle)
+            sp_unit.tick(cycle)
+        cycles = sorted(c for (__, c) in listener.completed)
+        assert cycles == [4, 5]  # same nominal cycle, bus serializes
+        total_stalls = (
+            int_unit.counters.get("writeback_stalls")
+            + sp_unit.counters.get("writeback_stalls")
+        )
+        assert total_stalls == 1
+
+    def test_dispatch_port_occupied(self):
+        listener = _Recorder()
+        unit = PipelinedExecutionUnit(sp_config(), listener, ResultBus(1))
+        unit.try_issue(None, alu(0, 1, opcode="FFMA"), cycle=0)
+        assert unit.try_issue(None, alu(16, 2, opcode="FFMA"), cycle=1) is None
+        assert unit.busy
+
+    def test_in_order_writeback_for_same_latency(self):
+        listener = _Recorder()
+        unit = PipelinedExecutionUnit(sp_config(lanes=32), listener, ResultBus(2))
+        a = alu(0, 1, opcode="FFMA")
+        b = alu(16, 2, opcode="FFMA")
+        unit.try_issue(None, a, cycle=0)
+        unit.try_issue(None, b, cycle=1)
+        for cycle in range(0, 10):
+            unit.tick(cycle)
+        assert [inst for (inst, __) in listener.completed] == [a, b]
+
+    def test_reset_clears_pipeline(self):
+        listener = _Recorder()
+        unit = PipelinedExecutionUnit(sp_config(), listener, ResultBus(1))
+        unit.try_issue(None, alu(0, 1, opcode="FFMA"), 0)
+        unit.reset()
+        assert not unit.busy
+        for cycle in range(0, 20):
+            unit.tick(cycle)
+        assert listener.completed == []

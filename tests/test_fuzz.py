@@ -1,0 +1,86 @@
+"""Robustness fuzzing: malformed inputs must raise typed errors, never
+crash with arbitrary exceptions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SwiftSimError, TraceError
+from repro.frontend.trace_io import parse_trace, save_trace
+from repro.frontend.config_io import gpu_config_from_dict, gpu_config_to_dict
+from repro.errors import ConfigError
+from repro.tracegen.suites import make_app
+
+from conftest import make_tiny_gpu
+
+
+def _valid_trace_text() -> str:
+    import io, tempfile, pathlib
+    app = make_app("gemm", scale="tiny")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "t.trace"
+        save_trace(app, path)
+        return path.read_text()
+
+
+_BASE_TEXT = _valid_trace_text()
+_LINES = _BASE_TEXT.splitlines()
+
+
+class TestTraceParserFuzz:
+    @given(st.integers(0, len(_LINES) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_deleting_any_line_is_typed(self, index):
+        mutated = "\n".join(_LINES[:index] + _LINES[index + 1:])
+        try:
+            parse_trace(mutated)
+        except TraceError:
+            pass  # rejection with the documented error type is correct
+
+    @given(
+        st.integers(0, len(_LINES) - 1),
+        st.text(alphabet="abcxyz0= ,", min_size=1, max_size=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_corrupting_any_line_is_typed(self, index, junk):
+        mutated_lines = list(_LINES)
+        mutated_lines[index] = mutated_lines[index] + " " + junk
+        try:
+            parse_trace("\n".join(mutated_lines))
+        except TraceError:
+            pass
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_text_is_typed(self, text):
+        try:
+            parse_trace(text)
+        except TraceError:
+            pass
+
+
+class TestConfigFuzz:
+    @given(st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_corrupting_config_values_is_typed(self, rng):
+        data = gpu_config_to_dict(make_tiny_gpu())
+        # Corrupt a handful of random scalar leaves.
+        def corrupt(node):
+            keys = [k for k, v in node.items() if isinstance(v, (int, float))]
+            if keys:
+                key = rng.choice(keys)
+                node[key] = rng.choice([-1, 0, 10**9, 3.7])
+        corrupt(data)
+        corrupt(data.get("l1", {}))
+        corrupt(data.get("dram", {}))
+        try:
+            gpu_config_from_dict(data)
+        except ConfigError:
+            pass
+
+    def test_all_package_errors_share_base(self):
+        from repro import errors
+        for name in ("ConfigError", "TraceError", "PlanError",
+                     "SimulationError", "WorkloadError"):
+            assert issubclass(getattr(errors, name), SwiftSimError)

@@ -1,0 +1,55 @@
+"""Golden regression tests.
+
+These lock the exact cycle counts of the three simulators on four tiny
+applications against the shrunken test GPU.  Simulation is fully
+deterministic, so any diff here means a *timing-model change* — which is
+fine when intentional, but must never happen by accident.
+
+When a deliberate modeling change shifts these numbers, regenerate with:
+
+    python - <<'EOF'
+    import sys; sys.path.insert(0, "tests")
+    from conftest import make_tiny_gpu
+    from repro import AccelSimLike, SwiftSimBasic, SwiftSimMemory, make_app
+    gpu = make_tiny_gpu()
+    for app in ("gemm", "sm", "bfs", "hotspot"):
+        trace = make_app(app, scale="tiny")
+        print(app, {c.__name__: c(gpu).simulate(trace, gather_metrics=False).total_cycles
+                    for c in (AccelSimLike, SwiftSimBasic, SwiftSimMemory)})
+    EOF
+
+and explain the shift in the commit message.
+"""
+
+import pytest
+
+from repro import AccelSimLike, SwiftSimBasic, SwiftSimMemory, make_app
+
+from conftest import make_tiny_gpu
+
+GOLDEN_CYCLES = {
+    "gemm": {"AccelSimLike": 738, "SwiftSimBasic": 835, "SwiftSimMemory": 622},
+    "sm": {"AccelSimLike": 701, "SwiftSimBasic": 720, "SwiftSimMemory": 696},
+    "bfs": {"AccelSimLike": 8199, "SwiftSimBasic": 11342, "SwiftSimMemory": 5923},
+    "hotspot": {"AccelSimLike": 1790, "SwiftSimBasic": 1916, "SwiftSimMemory": 1532},
+}
+
+_SIMULATORS = {
+    "AccelSimLike": AccelSimLike,
+    "SwiftSimBasic": SwiftSimBasic,
+    "SwiftSimMemory": SwiftSimMemory,
+}
+
+
+@pytest.mark.parametrize("app_name", sorted(GOLDEN_CYCLES))
+@pytest.mark.parametrize("simulator_name", sorted(_SIMULATORS))
+def test_golden_cycles(app_name, simulator_name):
+    gpu = make_tiny_gpu()
+    app = make_app(app_name, scale="tiny")
+    simulator = _SIMULATORS[simulator_name](gpu)
+    cycles = simulator.simulate(app, gather_metrics=False).total_cycles
+    assert cycles == GOLDEN_CYCLES[app_name][simulator_name], (
+        f"{simulator_name} on {app_name}: timing model changed "
+        f"(got {cycles}, golden {GOLDEN_CYCLES[app_name][simulator_name]}); "
+        "regenerate the goldens if this was intentional (see module docstring)"
+    )

@@ -1,0 +1,203 @@
+"""Tests for the composed memory systems (queued and detailed)."""
+
+import pytest
+
+from repro.frontend.isa import InstKind
+from repro.memory.hierarchy import DetailedMemorySystem, QueuedMemorySystem
+from repro.memory.l2 import partition_for_line, slice_line_addr
+from repro.sim.engine import ClockedModule, Engine
+from repro.sim.ports import CompletionListener
+
+from conftest import load, make_tiny_gpu, store, coalesced_addrs
+
+
+class TestL2Mapping:
+    def test_lines_interleave(self):
+        assert [partition_for_line(line, 4) for line in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_slice_addressing_dense(self):
+        assert [slice_line_addr(line, 4) for line in (0, 4, 8)] == [0, 1, 2]
+
+
+class TestQueuedMemorySystem:
+    def test_cold_load_latency_breakdown(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        inst = load(0, 1, coalesced_addrs(base=0x100000, count=32))
+        completion, transactions, port = memory.access_global(0, inst, cycle=0)
+        assert transactions == 4
+        floor = tiny_gpu.l1.latency + tiny_gpu.l2.latency + tiny_gpu.dram.latency
+        assert completion > floor
+        assert port >= 1
+
+    def test_warm_load_hits_l1(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        inst = load(0, 1, coalesced_addrs(base=0x100000))
+        first, __, __p = memory.access_global(0, inst, cycle=0)
+        second, __, __p = memory.access_global(0, load(16, 2, coalesced_addrs(base=0x100000)), cycle=first + 1)
+        assert second - (first + 1) <= tiny_gpu.l1.latency + 4
+        assert memory.l1_caches[0].counters.get("sector_hits") == 4
+
+    def test_l2_shared_across_sms(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        addrs = coalesced_addrs(base=0x200000)
+        first, __, __p = memory.access_global(0, load(0, 1, addrs), cycle=0)
+        # A different SM misses its own L1 but hits the shared L2.
+        second, __, __p = memory.access_global(1, load(0, 1, addrs), cycle=first + 1)
+        dram_reads = sum(d.counters.get("reads") for d in memory.drams)
+        assert dram_reads == 4  # only the first request went to DRAM
+        assert second - (first + 1) < first  # far cheaper than cold
+
+    def test_store_retires_quickly_but_consumes_bandwidth(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        inst = store(0, 1, coalesced_addrs(base=0x300000))
+        completion, transactions, __ = memory.access_global(0, inst, cycle=0)
+        assert transactions == 4
+        assert completion <= 8  # write-through: retire at NoC handoff
+        assert memory.noc.counters.get("flits") >= 8  # addr+data per sector
+
+    def test_atomic_round_trip(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        inst_store = store(0, 1, [0x40000] * 32)
+        atomic = load(0, 1, [0x40000] * 32)
+        # Build a real atomic instruction.
+        from repro.frontend.trace import TraceInstruction
+        atomic = TraceInstruction(0, "RED", src_regs=(1,), addresses=tuple([0x40000] * 32))
+        completion, transactions, __ = memory.access_global(0, atomic, cycle=0)
+        assert transactions == 1
+        assert completion >= tiny_gpu.l2.latency  # performed at the L2
+
+    def test_divergent_load_serializes_banks(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        banks = tiny_gpu.l1.banks
+        # 32 lines all mapping to L1 bank 0.
+        addrs = [0x800000 + i * 128 * banks for i in range(32)]
+        __, transactions, port = memory.access_global(0, load(0, 1, addrs), cycle=0)
+        assert transactions == 32
+        assert port >= 32  # one line per cycle through the camped bank
+
+    def test_counters_flow_to_children(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        memory.access_global(0, load(0, 1, coalesced_addrs(base=0x900000)), 0)
+        names = {m.name for m in memory.walk()}
+        assert "l1_sm0" in names and "noc" in names
+        assert memory.counters.get("global_instructions") == 1
+
+    def test_reset_restores_cold_state(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        inst = load(0, 1, coalesced_addrs(base=0xA00000))
+        cold, __, __p = memory.access_global(0, inst, 0)
+        memory.reset()
+        again, __, __p = memory.access_global(0, load(0, 1, coalesced_addrs(base=0xA00000)), 0)
+        assert again == cold
+
+
+class _Recorder(CompletionListener):
+    def __init__(self):
+        self.completed = []
+
+    def on_complete(self, warp, inst, cycle):
+        self.completed.append((inst, cycle))
+
+
+class _MemoryDriver(ClockedModule):
+    """Feeds instructions into a DetailedMemorySystem at given cycles."""
+
+    def __init__(self, memory, schedule):
+        super().__init__("driver")
+        self.memory = memory
+        self.schedule = list(schedule)  # (cycle, sm_id, listener, inst)
+
+    def tick(self, cycle):
+        while self.schedule and self.schedule[0][0] <= cycle:
+            __, sm_id, listener, inst = self.schedule.pop(0)
+            accepted = self.memory.issue_global(sm_id, listener, None, inst, cycle)
+            assert accepted
+        if self.schedule:
+            return self.schedule[0][0]
+        return None
+
+
+def run_detailed(tiny_gpu, schedule, max_cycles=100000):
+    memory = DetailedMemorySystem(tiny_gpu)
+    engine = Engine(allow_jump=False)
+    driver = _MemoryDriver(memory, schedule)
+    engine.add(driver)
+    engine.add(memory)
+    memory.attach_engine(engine)
+    final = engine.run(max_cycles=max_cycles)
+    return memory, final
+
+
+class TestDetailedMemorySystem:
+    def test_load_completes_via_callback(self, tiny_gpu):
+        listener = _Recorder()
+        inst = load(0, 1, coalesced_addrs(base=0x100000))
+        memory, final = run_detailed(tiny_gpu, [(0, 0, listener, inst)])
+        assert len(listener.completed) == 1
+        floor = tiny_gpu.l2.latency + tiny_gpu.dram.latency
+        assert listener.completed[0][1] > floor
+        assert memory.is_done()
+
+    def test_second_load_hits_l1(self, tiny_gpu):
+        listener = _Recorder()
+        a = load(0, 1, coalesced_addrs(base=0x100000))
+        b = load(16, 2, coalesced_addrs(base=0x100000))
+        memory, __ = run_detailed(
+            tiny_gpu, [(0, 0, listener, a), (600, 0, listener, b)]
+        )
+        assert len(listener.completed) == 2
+        second_latency = listener.completed[1][1] - 600
+        assert second_latency <= tiny_gpu.l1.latency + 8
+
+    def test_merged_misses_complete_together(self, tiny_gpu):
+        listener = _Recorder()
+        a = load(0, 1, coalesced_addrs(base=0x100000))
+        b = load(16, 2, coalesced_addrs(base=0x100000))
+        memory, __ = run_detailed(
+            tiny_gpu, [(0, 0, listener, a), (1, 0, listener, b)]
+        )
+        assert len(listener.completed) == 2
+        cycles = [c for (__, c) in listener.completed]
+        assert abs(cycles[0] - cycles[1]) <= 2
+        # Only one set of DRAM reads despite two instructions.
+        assert sum(d.counters.get("reads") for d in memory.drams) == 4
+
+    def test_store_completes_and_reaches_l2(self, tiny_gpu):
+        listener = _Recorder()
+        inst = store(0, 1, coalesced_addrs(base=0x200000))
+        memory, __ = run_detailed(tiny_gpu, [(0, 0, listener, inst)])
+        assert len(listener.completed) == 1
+        l2_writes = sum(
+            s.counters.get("sector_accesses") for s in memory.l2_slices
+        )
+        assert l2_writes == 4
+
+    def test_atomic_gets_response(self, tiny_gpu):
+        from repro.frontend.trace import TraceInstruction
+        listener = _Recorder()
+        inst = TraceInstruction(0, "RED", src_regs=(1,), addresses=tuple([0x40000] * 32))
+        memory, __ = run_detailed(tiny_gpu, [(0, 0, listener, inst)])
+        assert len(listener.completed) == 1
+        assert listener.completed[0][1] >= tiny_gpu.l2.latency
+
+    def test_queue_capacity_rejects(self, tiny_gpu):
+        memory = DetailedMemorySystem(tiny_gpu)
+        listener = _Recorder()
+        # One divergent instruction with more transactions than the queue.
+        addrs = [0x800000 + 128 * i for i in range(32)]
+        big = load(0, 1, addrs)
+        assert memory.issue_global(0, listener, None, big, 0)
+        assert memory.issue_global(0, listener, None, big, 0)
+        # Queue (64) now full: the third must be rejected.
+        assert not memory.issue_global(0, listener, None, big, 0)
+        assert memory.counters.get("l1_queue_stalls") == 1
+
+    def test_cross_sm_sharing_through_l2(self, tiny_gpu):
+        listener = _Recorder()
+        addrs = coalesced_addrs(base=0x500000)
+        memory, __ = run_detailed(
+            tiny_gpu,
+            [(0, 0, listener, load(0, 1, addrs)), (600, 1, listener, load(0, 2, addrs))],
+        )
+        assert sum(d.counters.get("reads") for d in memory.drams) == 4
+        assert len(listener.completed) == 2

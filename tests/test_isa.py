@@ -1,0 +1,65 @@
+"""Unit tests for the trace ISA tables."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.frontend.isa import (
+    OPCODES,
+    OPCODES_BY_UNIT,
+    InstKind,
+    MemSpace,
+    UnitClass,
+    opcode_info,
+)
+
+
+class TestOpcodeTable:
+    def test_lookup_known(self):
+        info = opcode_info("FFMA")
+        assert info.unit is UnitClass.SP
+        assert info.kind is InstKind.ALU
+        assert not info.is_memory
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(TraceError):
+            opcode_info("NOT_AN_OPCODE")
+
+    def test_memory_opcodes_flagged(self):
+        for name in ("LDG", "STG", "LDS", "STS", "ATOMG", "RED", "LDL", "STL"):
+            assert opcode_info(name).is_memory, name
+
+    def test_non_memory_opcodes_not_flagged(self):
+        for name in ("IADD3", "BRA", "BAR.SYNC", "EXIT", "MEMBAR"):
+            assert not opcode_info(name).is_memory, name
+
+    def test_mem_spaces(self):
+        assert opcode_info("LDG").mem_space is MemSpace.GLOBAL
+        assert opcode_info("LDL").mem_space is MemSpace.LOCAL
+        assert opcode_info("LDS").mem_space is MemSpace.SHARED
+        assert opcode_info("FADD").mem_space is MemSpace.NONE
+
+    def test_kinds(self):
+        assert opcode_info("LDG").kind is InstKind.LOAD
+        assert opcode_info("STG").kind is InstKind.STORE
+        assert opcode_info("RED").kind is InstKind.ATOMIC
+        assert opcode_info("BRA").kind is InstKind.BRANCH
+        assert opcode_info("BAR.SYNC").kind is InstKind.BARRIER
+        assert opcode_info("MEMBAR").kind is InstKind.MEMBAR
+        assert opcode_info("EXIT").kind is InstKind.EXIT
+
+    def test_every_unit_class_with_alu_work_has_opcodes(self):
+        for unit in (UnitClass.INT, UnitClass.SP, UnitClass.DP,
+                     UnitClass.SFU, UnitClass.TENSOR, UnitClass.LDST):
+            assert OPCODES_BY_UNIT[unit], unit
+
+    def test_latency_factors_positive(self):
+        assert all(info.latency_factor >= 1 for info in OPCODES.values())
+
+    def test_transcendentals_slower_than_reciprocal(self):
+        assert (
+            opcode_info("MUFU.SIN").latency_factor
+            > opcode_info("MUFU.RCP").latency_factor - 1
+        )
+
+    def test_table_keys_match_names(self):
+        assert all(name == info.name for name, info in OPCODES.items())

@@ -1,0 +1,213 @@
+"""Unit tests for LD/ST unit variants, shared memory, operand collector,
+fetch front end, and the block scheduler."""
+
+import pytest
+
+from repro.core.block_scheduler import BlockScheduler
+from repro.core.fetch import NO_FETCH, FrontEnd
+from repro.core.ldst_unit import (
+    AnalyticalLDSTUnit,
+    QueuedLDSTUnit,
+    SharedMemoryUnit,
+)
+from repro.core.operand_collector import OperandCollector
+from repro.core.warp import BlockRuntime, WarpState
+from repro.frontend.isa import InstKind
+from repro.frontend.trace import BlockTrace, KernelTrace, TraceInstruction
+from repro.memory.analytical import AnalyticalMemoryModel, MemoryProfile
+from repro.memory.hierarchy import QueuedMemorySystem
+
+from conftest import alu, coalesced_addrs, load, make_tiny_gpu, make_warp
+
+
+class TestQueuedLDSTUnit:
+    def test_issue_returns_completion(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        unit = QueuedLDSTUnit(0, tiny_gpu.sm, memory)
+        inst = load(0, 1, coalesced_addrs())
+        completion = unit.try_issue(None, inst, cycle=0)
+        assert isinstance(completion, int)
+        assert completion > tiny_gpu.l1.latency
+
+    def test_port_occupancy_scales_with_transactions(self, tiny_gpu):
+        memory = QueuedMemorySystem(tiny_gpu)
+        unit = QueuedLDSTUnit(0, tiny_gpu.sm, memory)
+        divergent = load(0, 1, [0x500000 + 128 * i for i in range(32)])
+        unit.try_issue(None, divergent, cycle=0)
+        # 32 transactions: port busy for several cycles.
+        assert unit.port_free_cycle >= 8
+        assert unit.try_issue(None, load(16, 2, coalesced_addrs()), 1) is None
+
+
+class TestAnalyticalLDSTUnit:
+    def test_never_rejects_when_port_free(self, tiny_gpu):
+        profile = MemoryProfile(tiny_gpu, {})
+        model = AnalyticalMemoryModel(tiny_gpu, profile)
+        unit = AnalyticalLDSTUnit(0, tiny_gpu.sm, model)
+        inst = load(0, 1, coalesced_addrs())
+        first = unit.try_issue(None, inst, cycle=0)
+        assert isinstance(first, int)
+        assert unit.try_issue(None, inst, cycle=0) is None  # port paces
+        assert unit.try_issue(None, inst, cycle=1) is not None
+
+
+class TestSharedMemoryUnit:
+    def _lds(self, offsets, mask=None):
+        mask = mask if mask is not None else (1 << len(offsets)) - 1
+        return TraceInstruction(
+            0, "LDS", dest_regs=(1,), active_mask=mask, addresses=tuple(offsets)
+        )
+
+    def test_conflict_free_degree_one(self, tiny_gpu):
+        unit = SharedMemoryUnit(tiny_gpu.sm, analytical=False)
+        inst = self._lds([4 * i for i in range(32)])
+        assert unit.conflict_degree(inst) == 1
+        completion = unit.try_issue(None, inst, cycle=0)
+        assert completion == tiny_gpu.sm.shared_mem_latency
+
+    def test_full_conflict_serializes(self, tiny_gpu):
+        unit = SharedMemoryUnit(tiny_gpu.sm, analytical=False)
+        # All lanes hit bank 0 with distinct words: degree 32.
+        inst = self._lds([128 * i for i in range(32)])
+        assert unit.conflict_degree(inst) == 32
+        completion = unit.try_issue(None, inst, cycle=0)
+        assert completion == tiny_gpu.sm.shared_mem_latency + 31
+        assert unit.port_free_cycle == 32
+        assert unit.counters.get("bank_conflicts") == 31
+
+    def test_broadcast_is_free(self, tiny_gpu):
+        unit = SharedMemoryUnit(tiny_gpu.sm, analytical=False)
+        inst = self._lds([0] * 32)
+        assert unit.conflict_degree(inst) == 1  # same word: broadcast
+
+    def test_analytical_ignores_conflicts(self, tiny_gpu):
+        unit = SharedMemoryUnit(tiny_gpu.sm, analytical=True)
+        inst = self._lds([128 * i for i in range(32)])
+        completion = unit.try_issue(None, inst, cycle=0)
+        assert completion == tiny_gpu.sm.shared_mem_latency
+        assert unit.port_free_cycle == 1
+
+
+class TestOperandCollector:
+    def test_no_sources_single_cycle(self, tiny_gpu):
+        collector = OperandCollector(tiny_gpu.sm)
+        assert collector.try_collect(alu(0, 1), cycle=0) == 1
+
+    def test_bank_conflicts_serialize_reads(self, tiny_gpu):
+        collector = OperandCollector(tiny_gpu.sm)
+        banks = tiny_gpu.sm.register_banks
+        inst = alu(0, 1, (banks, 2 * banks, 3 * banks))  # same bank
+        assert collector.try_collect(inst, cycle=0) == 3
+        assert collector.counters.get("bank_conflicts") == 2
+
+    def test_units_exhaust_then_stall(self, tiny_gpu):
+        collector = OperandCollector(tiny_gpu.sm)
+        units = tiny_gpu.sm.operand_collector_units
+        inst = alu(0, 1, (2, 3))
+        for __ in range(units):
+            assert collector.try_collect(inst, cycle=0) is not None
+        assert collector.try_collect(inst, cycle=0) is None
+        assert collector.counters.get("structural_stalls") == 1
+        assert collector.try_collect(inst, cycle=collector.earliest_free()) is not None
+
+
+class _FakeWarp:
+    """Minimal stand-in carrying only front-end fields."""
+
+    def __init__(self):
+        self.ibuffer = 0
+        self.refill_at = NO_FETCH
+        from repro.core.warp import WarpStatus
+        self.status = WarpStatus.ACTIVE
+
+
+class TestFrontEnd:
+    def test_arrival_starts_fetch(self, tiny_gpu):
+        frontend = FrontEnd(tiny_gpu.sm)
+        warp = _FakeWarp()
+        frontend.warp_arrived(warp, cycle=0)
+        round_trip = tiny_gpu.sm.fetch_latency + tiny_gpu.sm.decode_latency
+        assert warp.refill_at == round_trip
+        assert not frontend.instruction_visible(warp, 0)
+
+    def test_refill_delivered_by_tick(self, tiny_gpu):
+        frontend = FrontEnd(tiny_gpu.sm)
+        warp = _FakeWarp()
+        frontend.warp_arrived(warp, cycle=0)
+        landing = warp.refill_at
+        frontend.tick(landing, [warp])
+        assert warp.ibuffer == tiny_gpu.sm.ibuffer_entries
+        assert frontend.instruction_visible(warp, landing)
+
+    def test_branch_flushes(self, tiny_gpu):
+        frontend = FrontEnd(tiny_gpu.sm)
+        warp = _FakeWarp()
+        warp.ibuffer = 4
+        frontend.on_issue(warp, cycle=10, kind=InstKind.BRANCH)
+        assert warp.ibuffer == 0
+        assert warp.refill_at > 10
+        assert frontend.counters.get("flushes") == 1
+
+    def test_straight_line_issue_consumes(self, tiny_gpu):
+        frontend = FrontEnd(tiny_gpu.sm)
+        warp = _FakeWarp()
+        warp.ibuffer = 3
+        frontend.on_issue(warp, cycle=0, kind=InstKind.ALU)
+        assert warp.ibuffer == 2
+
+    def test_fetch_arbiter_round_robin(self, tiny_gpu):
+        frontend = FrontEnd(tiny_gpu.sm)
+        warps = [_FakeWarp() for __ in range(3)]
+        frontend.tick(0, warps)  # starts warp 0's fetch
+        assert warps[0].refill_at != NO_FETCH
+        frontend.tick(1, warps)  # warp 1 next
+        assert warps[1].refill_at != NO_FETCH
+        assert warps[2].refill_at == NO_FETCH
+
+    def test_prefetch_below_half(self, tiny_gpu):
+        frontend = FrontEnd(tiny_gpu.sm)
+        warp = _FakeWarp()
+        warp.ibuffer = tiny_gpu.sm.ibuffer_entries  # full: no fetch
+        frontend.tick(0, [warp])
+        assert warp.refill_at == NO_FETCH
+        warp.ibuffer = tiny_gpu.sm.ibuffer_entries // 2
+        frontend.tick(1, [warp])
+        assert warp.refill_at != NO_FETCH
+
+
+class TestBlockScheduler:
+    def _kernel(self, blocks=4):
+        return KernelTrace(
+            "k", [BlockTrace(i, [make_warp([alu(0, 1)])]) for i in range(blocks)]
+        )
+
+    def test_fifo_dispatch(self):
+        scheduler = BlockScheduler(self._kernel(3))
+        assert scheduler.peek_block().block_id == 0
+        assert scheduler.next_block(0).block_id == 0
+        assert scheduler.next_block(1).block_id == 1
+        assert scheduler.blocks_remaining == 1
+
+    def test_drains_to_none(self):
+        scheduler = BlockScheduler(self._kernel(1))
+        scheduler.next_block(0)
+        assert scheduler.peek_block() is None
+        assert scheduler.next_block(0) is None
+
+    def test_completion_accounting(self):
+        kernel = self._kernel(2)
+        scheduler = BlockScheduler(kernel)
+        b0 = scheduler.next_block(0)
+        b1 = scheduler.next_block(1)
+        assert not scheduler.all_done
+        scheduler.block_done(0, b0, cycle=50)
+        scheduler.block_done(1, b1, cycle=30)
+        assert scheduler.all_done
+        assert scheduler.last_completion_cycle == 50
+
+    def test_reset(self):
+        scheduler = BlockScheduler(self._kernel(2))
+        scheduler.next_block(0)
+        scheduler.reset()
+        assert scheduler.blocks_remaining == 2
+        assert not scheduler.all_done

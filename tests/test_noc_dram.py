@@ -1,0 +1,149 @@
+"""Unit tests for the interconnect and DRAM partition models."""
+
+from repro.frontend.config import DRAMConfig, NoCConfig
+from repro.memory.dram import DRAMPartition
+from repro.memory.noc import DetailedNoC, ReservedNoC
+
+
+class TestReservedNoC:
+    def test_uncontended_latency(self):
+        noc = ReservedNoC(NoCConfig(latency=8, flits_per_cycle=1), 4)
+        assert noc.send_request(100, 0, flits=1) == 108
+
+    def test_contention_serializes(self):
+        noc = ReservedNoC(NoCConfig(latency=8, flits_per_cycle=1), 4)
+        first = noc.send_request(100, 0)
+        second = noc.send_request(100, 0)
+        assert second == first + 1
+        assert noc.counters.get("stall_cycles") == 1
+
+    def test_partitions_independent(self):
+        noc = ReservedNoC(NoCConfig(latency=8), 4)
+        assert noc.send_request(100, 0) == noc.send_request(100, 1)
+
+    def test_directions_independent(self):
+        noc = ReservedNoC(NoCConfig(latency=8), 4)
+        assert noc.send_request(100, 0) == noc.send_response(100, 0)
+
+    def test_multi_flit_occupancy(self):
+        noc = ReservedNoC(NoCConfig(latency=0, flits_per_cycle=1), 2)
+        first = noc.send_request(0, 0, flits=4)
+        assert first == 3  # 4 flits at 1/cycle, last leaves at cycle 3
+        assert noc.send_request(0, 0, flits=1) == 4
+
+    def test_reset(self):
+        noc = ReservedNoC(NoCConfig(latency=8), 2)
+        noc.send_request(0, 0)
+        noc.reset()
+        assert noc.send_request(0, 0) == 8
+        assert noc.counters.get("flits") == 1
+
+
+class TestDetailedNoC:
+    def _make(self):
+        delivered = {"req": [], "resp": []}
+        noc = DetailedNoC(
+            NoCConfig(latency=2, flits_per_cycle=1),
+            2,
+            deliver_request=lambda p, payload, c: delivered["req"].append((p, payload, c)),
+            deliver_response=lambda p, payload, c: delivered["resp"].append((p, payload, c)),
+        )
+        return noc, delivered
+
+    def test_delivery_after_latency(self):
+        noc, delivered = self._make()
+        noc.send_request(0, "pkt")
+        for cycle in range(10):
+            noc.tick(cycle)
+            if delivered["req"]:
+                break
+        # Flit moves at cycle 0, matures at 0 + latency + 1 = 3.
+        assert delivered["req"] == [(0, "pkt", 3)]
+
+    def test_bandwidth_one_flit_per_cycle(self):
+        noc, delivered = self._make()
+        noc.send_request(0, "a")
+        noc.send_request(0, "b")
+        for cycle in range(10):
+            noc.tick(cycle)
+        arrive = [c for (__, __p, c) in delivered["req"]]
+        assert arrive == [3, 4]
+
+    def test_multi_flit_packet_head_of_line(self):
+        noc, delivered = self._make()
+        noc.send_request(0, "big", flits=3)
+        noc.send_request(0, "small", flits=1)
+        for cycle in range(10):
+            noc.tick(cycle)
+        payloads = [(p, c) for (__, p, c) in delivered["req"]]
+        assert payloads == [("big", 5), ("small", 6)]
+
+    def test_responses_independent_of_requests(self):
+        noc, delivered = self._make()
+        noc.send_request(1, "q")
+        noc.send_response(1, "r")
+        for cycle in range(6):
+            noc.tick(cycle)
+        assert delivered["req"][0][2] == delivered["resp"][0][2]
+
+    def test_busy_flag(self):
+        noc, __ = self._make()
+        assert not noc.busy
+        noc.send_request(0, "x")
+        assert noc.busy
+        for cycle in range(6):
+            noc.tick(cycle)
+        assert not noc.busy
+
+
+class TestDRAMPartition:
+    def _dram(self, **overrides):
+        params = dict(latency=100, row_hit_latency=30, banks_per_partition=4,
+                      row_bytes=1024, bytes_per_cycle=16)
+        params.update(overrides)
+        return DRAMPartition(DRAMConfig(**params), partition_id=0)
+
+    def test_row_miss_then_hit(self):
+        dram = self._dram()
+        assert dram.access_latency(0) == 100
+        assert dram.access_latency(1) == 30  # same 1KB row
+        assert dram.counters.get("row_hits") == 1
+        assert dram.counters.get("row_misses") == 1
+
+    def test_different_rows_same_bank_conflict(self):
+        dram = self._dram()
+        dram.access_latency(0)
+        # 4 banks x 1KB rows: line 32 (byte 4096) maps back to bank 0, next row.
+        assert dram.access_latency(32) == 100
+
+    def test_banks_hold_independent_rows(self):
+        dram = self._dram()
+        dram.access_latency(0)   # bank 0
+        dram.access_latency(8)   # byte 1024 -> bank 1
+        assert dram.access_latency(1) == 30  # bank 0 row still open
+
+    def test_burst_cycles(self):
+        dram = self._dram()
+        assert dram.burst_cycles(1) == 2  # 32B at 16B/cycle
+        assert dram.burst_cycles(4) == 8
+
+    def test_reserve_serializes_channel(self):
+        dram = self._dram()
+        first = dram.reserve(0, 0)
+        second = dram.reserve(0, 1)
+        assert first == 0 + 100 + 2
+        # Second waits for the 2-cycle burst, then row hit.
+        assert second == 2 + 30 + 2
+
+    def test_write_reserve_completes_at_buffering(self):
+        dram = self._dram()
+        done = dram.reserve(0, 0, sectors=2, is_write=True)
+        assert done == 4  # 2 sectors x 2 cycles, no access latency
+
+    def test_reset(self):
+        dram = self._dram()
+        dram.access_latency(0)
+        dram.reserve(0, 0)
+        dram.reset()
+        # Channel free and rows closed again: full row-miss latency.
+        assert dram.reserve(0, 0) == 102

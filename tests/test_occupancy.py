@@ -1,0 +1,52 @@
+"""Tests for the shared occupancy arithmetic."""
+
+import pytest
+
+from repro.core.occupancy import blocks_per_sm, concurrent_blocks, launch_waves
+from repro.errors import SimulationError
+from repro.frontend.trace import BlockTrace
+
+from conftest import alu, make_tiny_gpu, make_warp
+
+
+def block_with(num_warps=2, smem=0, regs=32):
+    warps = [make_warp([alu(0, 1)], warp_id=i) for i in range(num_warps)]
+    return BlockTrace(0, warps, shared_mem_bytes=smem, regs_per_thread=regs)
+
+
+class TestBlocksPerSM:
+    def test_warp_limited(self, tiny_gpu):
+        # 16 warp slots, 8-warp blocks: two fit.
+        assert blocks_per_sm(tiny_gpu, block_with(num_warps=8)) == 2
+
+    def test_smem_limited(self, tiny_gpu):
+        smem = tiny_gpu.sm.shared_mem_bytes // 3
+        assert blocks_per_sm(tiny_gpu, block_with(num_warps=1, smem=smem)) == 3
+
+    def test_register_limited(self, tiny_gpu):
+        regs = tiny_gpu.sm.registers // (2 * 32)  # two blocks' worth
+        assert blocks_per_sm(tiny_gpu, block_with(num_warps=1, regs=regs)) == 2
+
+    def test_block_count_limited(self, tiny_gpu):
+        assert blocks_per_sm(tiny_gpu, block_with(num_warps=1)) == tiny_gpu.sm.max_blocks
+
+    def test_oversized_block_raises(self, tiny_gpu):
+        huge = block_with(num_warps=1, smem=tiny_gpu.sm.shared_mem_bytes + 1)
+        with pytest.raises(SimulationError):
+            blocks_per_sm(tiny_gpu, huge)
+
+
+class TestWaves:
+    def test_concurrent_scales_with_sms(self, tiny_gpu):
+        block = block_with(num_warps=8)
+        assert concurrent_blocks(tiny_gpu, block) == 2 * tiny_gpu.num_sms
+
+    def test_single_wave_when_everything_fits(self, tiny_gpu):
+        block = block_with(num_warps=2)
+        assert launch_waves(tiny_gpu, block, num_blocks=4) == 1
+
+    def test_waves_round_up(self, tiny_gpu):
+        block = block_with(num_warps=8)  # capacity 8 on 4 SMs
+        assert launch_waves(tiny_gpu, block, num_blocks=9) == 2
+        assert launch_waves(tiny_gpu, block, num_blocks=16) == 2
+        assert launch_waves(tiny_gpu, block, num_blocks=17) == 3

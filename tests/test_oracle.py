@@ -1,0 +1,100 @@
+"""Tests for the hardware oracle (the Nsight-measurement substitute)."""
+
+import pytest
+
+from repro.oracle.hardware import (
+    APP_RESIDUAL_SIGMA,
+    HardwareOracle,
+    app_residual_factor,
+    perturbed_config,
+)
+from repro.frontend.presets import RTX_2080_TI, RTX_3060
+from repro.tracegen.suites import make_app
+
+from conftest import make_tiny_gpu
+
+
+class TestPerturbedConfig:
+    def test_deterministic_per_gpu(self):
+        a = perturbed_config(RTX_2080_TI)
+        b = perturbed_config(RTX_2080_TI)
+        assert a == b
+
+    def test_differs_between_gpus(self):
+        a = perturbed_config(RTX_2080_TI)
+        b = perturbed_config(RTX_3060)
+        assert a.l2.latency != b.l2.latency or a.dram.latency != b.dram.latency
+
+    def test_latencies_within_bounds(self):
+        gpu = make_tiny_gpu()
+        hw = perturbed_config(gpu)
+        for nominal, actual in (
+            (gpu.l1.latency, hw.l1.latency),
+            (gpu.l2.latency, hw.l2.latency),
+            (gpu.dram.latency, hw.dram.latency),
+        ):
+            assert 0.8 * nominal <= actual <= 1.25 * nominal
+
+    def test_structure_preserved(self):
+        gpu = make_tiny_gpu()
+        hw = perturbed_config(gpu)
+        assert hw.num_sms == gpu.num_sms
+        assert hw.memory_partitions == gpu.memory_partitions
+        assert hw.l1.size_bytes == gpu.l1.size_bytes
+        assert hw.dram.row_hit_latency <= hw.dram.latency
+
+    def test_still_validates(self):
+        # The perturbed config must pass all configuration invariants.
+        perturbed_config(make_tiny_gpu())  # would raise ConfigError
+
+
+class TestResidualFactor:
+    def test_deterministic(self):
+        assert app_residual_factor("bfs", "GPU") == app_residual_factor("bfs", "GPU")
+
+    def test_varies_by_app_and_gpu(self):
+        base = app_residual_factor("bfs", "GPU")
+        assert app_residual_factor("nw", "GPU") != base
+        assert app_residual_factor("bfs", "OTHER") != base
+
+    def test_centered_near_one(self):
+        factors = [app_residual_factor(f"app{i}", "GPU") for i in range(200)]
+        mean = sum(factors) / len(factors)
+        assert 0.9 < mean < 1.15
+        assert all(0.4 < f < 2.5 for f in factors)
+
+
+class TestOracle:
+    def test_measure_deterministic_and_cached(self, tiny_gpu):
+        oracle = HardwareOracle(tiny_gpu)
+        app = make_app("gemm", scale="tiny")
+        first = oracle.measure(app)
+        second = oracle.measure(app)
+        assert first == second
+        assert first > 0
+
+    def test_same_oracle_for_every_simulator(self, tiny_gpu):
+        # The reference is independent of which simulator queries it.
+        app = make_app("gemm", scale="tiny")
+        assert HardwareOracle(tiny_gpu).measure(app) == HardwareOracle(tiny_gpu).measure(app)
+
+    def test_includes_launch_overhead(self, tiny_gpu):
+        from repro.oracle.hardware import KERNEL_LAUNCH_OVERHEAD
+        from repro.simulators.accel_like import AccelSimLike
+        app = make_app("gemm", scale="tiny")
+        oracle = HardwareOracle(tiny_gpu)
+        raw = AccelSimLike(oracle.hardware_config).simulate(
+            app, gather_metrics=False
+        ).total_cycles
+        measured = oracle.measure(app)
+        factor = app_residual_factor(app.name, tiny_gpu.name)
+        expected = round((raw + KERNEL_LAUNCH_OVERHEAD * len(app.kernels)) * factor)
+        assert measured == expected
+
+    def test_simulator_errors_in_plausible_range(self, tiny_gpu):
+        # The whole calibration story: predictions land within ~2x.
+        from repro.simulators.swift_basic import SwiftSimBasic
+        app = make_app("hotspot", scale="tiny")
+        oracle_cycles = HardwareOracle(tiny_gpu).measure(app)
+        predicted = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False).total_cycles
+        assert 0.4 * oracle_cycles < predicted < 2.5 * oracle_cycles

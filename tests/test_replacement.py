@@ -1,0 +1,87 @@
+"""Unit tests for cache replacement policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_replacement_policy,
+)
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        lru = LRUPolicy(4)
+        for way in range(4):
+            lru.on_fill(way)
+        lru.on_access(0)  # 1 is now oldest
+        assert lru.victim([0, 1, 2, 3]) == 1
+
+    def test_access_refreshes(self):
+        lru = LRUPolicy(2)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        lru.on_access(0)
+        assert lru.victim([0, 1]) == 1
+
+    def test_respects_candidate_restriction(self):
+        lru = LRUPolicy(4)
+        for way in range(4):
+            lru.on_fill(way)
+        # Way 0 is LRU but not a candidate.
+        assert lru.victim([2, 3]) == 2
+
+
+class TestFIFO:
+    def test_evicts_first_filled(self):
+        fifo = FIFOPolicy(3)
+        fifo.on_fill(2)
+        fifo.on_fill(0)
+        fifo.on_fill(1)
+        assert fifo.victim([0, 1, 2]) == 2
+
+    def test_access_does_not_refresh(self):
+        fifo = FIFOPolicy(2)
+        fifo.on_fill(0)
+        fifo.on_fill(1)
+        fifo.on_access(0)
+        fifo.on_access(0)
+        assert fifo.victim([0, 1]) == 0
+
+    def test_differs_from_lru_under_hits(self):
+        # Same access sequence: LRU and FIFO disagree — the paper's point
+        # about analytical models being locked to LRU.
+        lru, fifo = LRUPolicy(2), FIFOPolicy(2)
+        for policy in (lru, fifo):
+            policy.on_fill(0)
+            policy.on_fill(1)
+            policy.on_access(0)
+        assert lru.victim([0, 1]) == 1
+        assert fifo.victim([0, 1]) == 0
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = RandomPolicy(8, seed=42)
+        b = RandomPolicy(8, seed=42)
+        picks_a = [a.victim(list(range(8))) for __ in range(20)]
+        picks_b = [b.victim(list(range(8))) for __ in range(20)]
+        assert picks_a == picks_b
+
+    def test_picks_only_candidates(self):
+        policy = RandomPolicy(8, seed=1)
+        for __ in range(50):
+            assert policy.victim([3, 5]) in (3, 5)
+
+
+class TestFactory:
+    def test_makes_each_policy(self):
+        assert isinstance(make_replacement_policy("LRU", 4), LRUPolicy)
+        assert isinstance(make_replacement_policy("fifo", 4), FIFOPolicy)
+        assert isinstance(make_replacement_policy("Random", 4, seed=3), RandomPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_replacement_policy("MRU", 4)

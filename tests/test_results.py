@@ -1,0 +1,49 @@
+"""Tests for the simulation result containers."""
+
+import pytest
+
+from repro.simulators.results import KernelResult, SimulationResult
+
+
+def make_result(**overrides):
+    params = dict(
+        app_name="app",
+        simulator_name="sim",
+        gpu_name="gpu",
+        total_cycles=1000,
+        kernels=[
+            KernelResult("k1", start_cycle=0, end_cycle=400, instructions=300),
+            KernelResult("k2", start_cycle=400, end_cycle=1000, instructions=700),
+        ],
+    )
+    params.update(overrides)
+    return SimulationResult(**params)
+
+
+class TestKernelResult:
+    def test_cycles_is_duration(self):
+        kernel = KernelResult("k", start_cycle=100, end_cycle=350, instructions=10)
+        assert kernel.cycles == 250
+
+    def test_frozen(self):
+        kernel = KernelResult("k", 0, 1, 2)
+        with pytest.raises(AttributeError):
+            kernel.end_cycle = 5
+
+
+class TestSimulationResult:
+    def test_instruction_totals(self):
+        assert make_result().instructions == 1000
+
+    def test_ipc(self):
+        assert make_result().ipc == pytest.approx(1.0)
+
+    def test_ipc_zero_cycles(self):
+        assert make_result(total_cycles=0).ipc == 0.0
+
+    def test_repr_carries_identity(self):
+        text = repr(make_result())
+        assert "sim" in text and "app" in text and "gpu" in text
+
+    def test_profile_seconds_default(self):
+        assert make_result().profile_seconds == 0.0

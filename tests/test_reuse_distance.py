@@ -1,0 +1,116 @@
+"""Unit tests for the reuse-distance profiler (vs a reference stack)."""
+
+import random
+
+from repro.memory.reuse_distance import PCProfile, ReuseDistanceProfiler, _LRUStack
+from repro.tracegen.suites import make_app
+
+from conftest import make_tiny_gpu
+
+
+def reference_stack_distance(trace):
+    """Naive O(n^2) stack-distance reference."""
+    distances = []
+    history = []
+    for block in trace:
+        if block in history:
+            idx = history.index(block)
+            distances.append(len(history) - idx - 1)
+            history.remove(block)
+        else:
+            distances.append(None)
+        history.append(block)
+    return distances
+
+
+class TestLRUStack:
+    def test_matches_reference_on_simple_sequence(self):
+        sequence = [(0, 0), (1, 0), (0, 0), (2, 0), (1, 0), (0, 0)]
+        stack = _LRUStack()
+        measured = [stack.access(b) for b in sequence]
+        assert measured == reference_stack_distance(sequence)
+
+    def test_matches_reference_on_random_sequence(self):
+        rng = random.Random(7)
+        sequence = [(rng.randrange(12), rng.randrange(4)) for __ in range(300)]
+        stack = _LRUStack()
+        measured = [stack.access(b) for b in sequence]
+        assert measured == reference_stack_distance(sequence)
+
+    def test_cold_misses_are_none(self):
+        stack = _LRUStack()
+        assert stack.access((1, 1)) is None
+        assert stack.access((2, 2)) is None
+
+    def test_immediate_reuse_distance_zero(self):
+        stack = _LRUStack()
+        stack.access((5, 0))
+        assert stack.access((5, 0)) == 0
+
+
+class TestPCProfile:
+    def test_rates_sum_to_one(self):
+        profile = PCProfile()
+        profile.accesses = 10
+        profile.l1_hits = 4
+        profile.l2_hits = 3
+        profile.dram_accesses = 3
+        assert profile.r_l1 + profile.r_l2 + profile.r_dram == 1.0
+
+    def test_empty_profile_defaults_to_dram(self):
+        assert PCProfile().r_dram == 1.0
+
+    def test_avg_transactions(self):
+        profile = PCProfile()
+        profile.instructions = 4
+        profile.transactions = 10
+        assert profile.avg_transactions == 2.5
+
+
+class TestProfiler:
+    def test_profiles_every_global_memory_pc(self):
+        gpu = make_tiny_gpu()
+        app = make_app("backprop", scale="tiny")
+        kernel = app.kernels[0]
+        profiles = ReuseDistanceProfiler(gpu).profile(kernel)
+        memory_pcs = {
+            inst.pc for inst in kernel.memory_accesses()
+        }
+        assert set(profiles) == memory_pcs
+
+    def test_rates_are_valid_fractions(self):
+        gpu = make_tiny_gpu()
+        kernel = make_app("hotspot", scale="tiny").kernels[0]
+        for profile in ReuseDistanceProfiler(gpu).profile(kernel).values():
+            assert 0.0 <= profile.r_l1 <= 1.0
+            assert 0.0 <= profile.r_l2 <= 1.0
+            assert 0.0 <= profile.r_dram <= 1.0
+            assert abs(profile.r_l1 + profile.r_l2 + profile.r_dram - 1.0) < 1e-9
+
+    def test_streaming_app_misses(self):
+        # ADI streams large footprints: expect substantial DRAM traffic.
+        gpu = make_tiny_gpu()
+        kernel = make_app("adi", scale="tiny").kernels[0]
+        profiles = ReuseDistanceProfiler(gpu).profile(kernel)
+        total = sum(p.accesses for p in profiles.values())
+        dram = sum(p.dram_accesses for p in profiles.values())
+        assert dram > 0.2 * total
+
+    def test_stencil_reuse_hits(self):
+        # Stencil neighbours reuse each other's lines: some L1 hits.
+        gpu = make_tiny_gpu()
+        kernel = make_app("hotspot", scale="tiny").kernels[0]
+        profiles = ReuseDistanceProfiler(gpu).profile(kernel)
+        assert sum(p.l1_hits for p in profiles.values()) > 0
+
+    def test_profile_many_keeps_state(self):
+        # Second identical kernel should see warmer stacks than the first.
+        gpu = make_tiny_gpu()
+        app = make_app("atax", scale="tiny")
+        fresh = ReuseDistanceProfiler(gpu).profile(app.kernels[0])
+        profiler = ReuseDistanceProfiler(gpu)
+        carried = profiler.profile_many([app.kernels[0], app.kernels[1]])
+        def hits(tally):
+            return sum(p.l1_hits + p.l2_hits for p in tally.values())
+        assert hits(carried[0]) == hits(fresh)
+        assert hits(carried[1]) >= hits(fresh)

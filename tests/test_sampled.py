@@ -1,0 +1,78 @@
+"""Tests for the block-sampling extension."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulators.sampled import SampledSimulator, sample_kernel
+from repro.simulators.swift_basic import SwiftSimBasic
+from repro.tracegen.suites import make_app
+
+from conftest import make_tiny_gpu
+
+
+class TestSampleKernel:
+    def test_rate_one_is_identity(self):
+        kernel = make_app("gemm", scale="tiny").kernels[0]
+        assert sample_kernel(kernel, 1) is kernel
+
+    def test_small_kernels_untouched(self):
+        kernel = make_app("gemm", scale="tiny").kernels[0]
+        assert sample_kernel(kernel, len(kernel.blocks) + 1) is kernel
+
+    def test_sampling_picks_every_kth(self):
+        kernel = make_app("hotspot", scale="small").kernels[0]
+        sampled = sample_kernel(kernel, 3)
+        expected = (len(kernel.blocks) + 2) // 3
+        assert len(sampled.blocks) == expected
+        # First block kept, ids renumbered densely.
+        assert sampled.blocks[0].warps[0].instructions == kernel.blocks[0].warps[0].instructions
+        assert [b.block_id for b in sampled.blocks] == list(range(expected))
+
+    def test_resources_preserved(self):
+        kernel = make_app("gemm", scale="small").kernels[0]
+        sampled = sample_kernel(kernel, 2)
+        assert sampled.blocks[0].shared_mem_bytes == kernel.blocks[0].shared_mem_bytes
+
+
+class TestSampledSimulator:
+    def test_rate_one_matches_inner(self, tiny_gpu):
+        app = make_app("sm", scale="tiny")
+        inner = SwiftSimBasic(tiny_gpu)
+        sampled = SampledSimulator(SwiftSimBasic(tiny_gpu), rate=1)
+        assert sampled.simulate(app).total_cycles == inner.simulate(
+            app, gather_metrics=False
+        ).total_cycles
+
+    def test_estimate_within_tolerance_on_homogeneous_app(self, tiny_gpu):
+        # Every block of `sm` does identical work: sampling should land close.
+        app = make_app("sm", scale="small")
+        full = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False)
+        estimate = SampledSimulator(
+            SwiftSimBasic(tiny_gpu), rate=2, min_blocks=2
+        ).simulate(app)
+        error = abs(estimate.total_cycles - full.total_cycles) / full.total_cycles
+        assert error < 0.6
+
+    def test_sampling_is_faster(self, tiny_gpu):
+        app = make_app("hotspot", scale="small")
+        full = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False)
+        estimate = SampledSimulator(
+            SwiftSimBasic(tiny_gpu), rate=4, min_blocks=2
+        ).simulate(app)
+        assert estimate.wall_time_seconds < full.wall_time_seconds
+
+    def test_name_and_kernel_accounting(self, tiny_gpu):
+        app = make_app("atax", scale="tiny")
+        sampled = SampledSimulator(SwiftSimBasic(tiny_gpu), rate=2, min_blocks=1)
+        result = sampled.simulate(app)
+        assert result.simulator_name == "swift-basic+sample2"
+        assert len(result.kernels) == len(app.kernels)
+        assert result.total_cycles == result.kernels[-1].end_cycle
+        # Instructions report the *full* application, not the sample.
+        assert result.instructions == app.num_instructions
+
+    def test_invalid_parameters(self, tiny_gpu):
+        with pytest.raises(ConfigError):
+            SampledSimulator(SwiftSimBasic(tiny_gpu), rate=0)
+        with pytest.raises(ConfigError):
+            SampledSimulator(SwiftSimBasic(tiny_gpu), min_blocks=0)

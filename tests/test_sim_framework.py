@@ -1,0 +1,283 @@
+"""Unit tests for the framework core: modules, counters, engine, plans,
+metrics."""
+
+import pytest
+
+from repro.errors import PlanError, SimulationError
+from repro.sim.engine import ClockedModule, Engine
+from repro.sim.metrics import MetricsGatherer
+from repro.sim.module import Counters, ModelLevel, Module
+from repro.sim.plan import (
+    ACCEL_LIKE_PLAN,
+    COMPONENTS,
+    SWIFT_BASIC_PLAN,
+    SWIFT_MEMORY_PLAN,
+    ModelingPlan,
+)
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("x")
+        counters.add("x", 4)
+        assert counters.get("x") == 5
+        assert counters.get("missing") == 0
+
+    def test_peak(self):
+        counters = Counters()
+        counters.peak("depth", 3)
+        counters.peak("depth", 1)
+        counters.peak("depth", 7)
+        assert counters.get("depth") == 7
+
+    def test_reset_and_contains(self):
+        counters = Counters()
+        counters.add("x")
+        assert "x" in counters
+        counters.reset()
+        assert "x" not in counters
+
+    def test_as_dict_is_snapshot(self):
+        counters = Counters()
+        counters.add("x")
+        snapshot = counters.as_dict()
+        counters.add("x")
+        assert snapshot == {"x": 1}
+
+
+class TestModuleTree:
+    def test_walk_depth_first(self):
+        root = Module("root")
+        child = root.add_child(Module("child"))
+        child.add_child(Module("grandchild"))
+        assert [m.name for m in root.walk()] == ["root", "child", "grandchild"]
+
+    def test_reset_clears_subtree_counters(self):
+        root = Module("root")
+        child = root.add_child(Module("child"))
+        child.counters.add("x")
+        root.reset()
+        assert child.counters.get("x") == 0
+
+    def test_repr_mentions_level(self):
+        assert "cycle_accurate" in repr(Module("m"))
+
+
+class _Countdown(ClockedModule):
+    """Ticks ``n`` times, stepping by ``stride`` cycles."""
+
+    def __init__(self, name, ticks, stride=1):
+        super().__init__(name)
+        self.remaining = ticks
+        self.stride = stride
+        self.tick_cycles = []
+
+    def tick(self, cycle):
+        self.tick_cycles.append(cycle)
+        self.remaining -= 1
+        if self.remaining == 0:
+            return None
+        return cycle + self.stride
+
+    def is_done(self):
+        return self.remaining == 0
+
+
+class TestEngine:
+    def test_single_module_runs_to_completion(self):
+        engine = Engine()
+        module = _Countdown("m", ticks=3)
+        engine.add(module)
+        final = engine.run()
+        assert module.tick_cycles == [0, 1, 2]
+        assert final == 2
+
+    def test_event_jump_skips_cycles(self):
+        engine = Engine(allow_jump=True)
+        module = _Countdown("m", ticks=3, stride=100)
+        engine.add(module)
+        assert engine.run() == 200
+        assert module.tick_cycles == [0, 100, 200]
+
+    def test_per_cycle_mode_clamps_jumps(self):
+        engine = Engine(allow_jump=False)
+        module = _Countdown("m", ticks=3, stride=100)
+        engine.add(module)
+        engine.run()
+        assert module.tick_cycles == [0, 1, 2]
+
+    def test_two_modules_interleave_deterministically(self):
+        engine = Engine()
+        a = _Countdown("a", ticks=2, stride=2)
+        b = _Countdown("b", ticks=3, stride=1)
+        engine.add(a)
+        engine.add(b)
+        engine.run()
+        assert a.tick_cycles == [0, 2]
+        assert b.tick_cycles == [0, 1, 2]
+
+    def test_max_cycles_raises(self):
+        class Forever(ClockedModule):
+            def tick(self, cycle):
+                return cycle + 1
+
+            def is_done(self):
+                return False
+
+        engine = Engine()
+        engine.add(Forever("f"))
+        with pytest.raises(SimulationError, match="exceeded"):
+            engine.run(max_cycles=50)
+
+    def test_non_advancing_module_raises(self):
+        class Stuck(ClockedModule):
+            def tick(self, cycle):
+                return cycle
+
+        engine = Engine()
+        engine.add(Stuck("s"))
+        with pytest.raises(SimulationError, match="non-advancing"):
+            engine.run()
+
+    def test_idle_module_with_work_outstanding_raises(self):
+        class Liar(ClockedModule):
+            def tick(self, cycle):
+                return None
+
+            def is_done(self):
+                return False
+
+        engine = Engine()
+        engine.add(Liar("liar"))
+        with pytest.raises(SimulationError, match="outstanding"):
+            engine.run()
+
+    def test_wake_rearms_idle_module(self):
+        class Sleeper(ClockedModule):
+            def __init__(self):
+                super().__init__("sleeper")
+                self.ticks = []
+                self.armed = False
+
+            def tick(self, cycle):
+                self.ticks.append(cycle)
+                return None  # go idle immediately
+
+            def is_done(self):
+                return True
+
+        class Waker(ClockedModule):
+            def __init__(self, engine, sleeper):
+                super().__init__("waker")
+                self.engine = engine
+                self.sleeper = sleeper
+
+            def tick(self, cycle):
+                if cycle == 5:
+                    self.engine.wake(self.sleeper, 7)
+                    return None
+                return cycle + 5
+
+        engine = Engine()
+        sleeper = Sleeper()
+        engine.add(sleeper)
+        engine.add(Waker(engine, sleeper))
+        engine.run()
+        assert sleeper.ticks == [0, 7]
+
+    def test_wake_earlier_supersedes_later_schedule(self):
+        engine = Engine()
+        module = _Countdown("m", ticks=2, stride=100)
+        engine.add(module)
+        # Before running, supersede the start-at-0 schedule is impossible;
+        # instead wake at a cycle earlier than its second tick mid-run.
+
+        class Interferer(ClockedModule):
+            def tick(self, cycle):
+                if cycle == 10:
+                    engine.wake(module, 20)
+                    return None
+                return 10
+
+        engine.add(Interferer("i"))
+        engine.run()
+        assert module.tick_cycles == [0, 20]
+
+    def test_start_cycle_offsets_timeline(self):
+        engine = Engine(start_cycle=1000)
+        module = _Countdown("m", ticks=2)
+        engine.add(module, start_cycle=1000)
+        assert engine.run() == 1001
+
+
+class TestModelingPlan:
+    def test_builtin_plans_valid(self):
+        assert ACCEL_LIKE_PLAN["alu_pipeline"] == "cycle_accurate"
+        assert SWIFT_BASIC_PLAN["alu_pipeline"] == "hybrid"
+        assert SWIFT_BASIC_PLAN["memory"] == "queued"
+        assert SWIFT_MEMORY_PLAN["memory"] == "analytical"
+
+    def test_defaults_fill_unspecified_slots(self):
+        plan = ModelingPlan("p", {"alu_pipeline": "hybrid"})
+        assert plan["memory"] == "cycle_accurate"
+
+    def test_unknown_slot_rejected(self):
+        with pytest.raises(PlanError, match="unknown component"):
+            ModelingPlan("p", {"warp_speed": "yes"})
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(PlanError, match="cannot be modeled"):
+            ModelingPlan("p", {"memory": "psychic"})
+
+    def test_with_choice_derives(self):
+        derived = SWIFT_BASIC_PLAN.with_choice("memory", "analytical")
+        assert derived["memory"] == "analytical"
+        assert SWIFT_BASIC_PLAN["memory"] == "queued"
+
+    def test_describe_lists_all_slots(self):
+        text = ACCEL_LIKE_PLAN.describe()
+        for slot in COMPONENTS:
+            assert slot in text
+
+    def test_getitem_unknown_slot(self):
+        with pytest.raises(PlanError):
+            ACCEL_LIKE_PLAN["nonexistent"]
+
+
+class TestMetricsGatherer:
+    def test_gather_merges_same_names(self):
+        a = Module("sm0")
+        a.counters.add("instructions_committed", 5)
+        b = Module("sm0")
+        b.counters.add("instructions_committed", 7)
+        report = MetricsGatherer([a, b]).gather(total_cycles=100)
+        assert report.get("sm0", "instructions_committed") == 12
+        assert report.instructions == 12
+        assert report.ipc == pytest.approx(0.12)
+
+    def test_prefix_totals(self):
+        l1a = Module("l1_sm0")
+        l1a.counters.add("sector_accesses", 10)
+        l1a.counters.add("sector_misses", 5)
+        l2 = Module("l2_slice0")
+        l2.counters.add("sector_accesses", 4)
+        l2.counters.add("sector_misses", 1)
+        report = MetricsGatherer([l1a, l2]).gather(10)
+        assert report.l1_miss_rate() == pytest.approx(0.5)
+        assert report.l2_miss_rate() == pytest.approx(0.25)
+
+    def test_rate_none_when_no_base(self):
+        report = MetricsGatherer([Module("empty")]).gather(10)
+        assert report.l1_miss_rate() is None
+
+    def test_walks_children(self):
+        root = Module("root")
+        child = root.add_child(Module("leaf"))
+        child.counters.add("x", 3)
+        report = MetricsGatherer([root]).gather(1)
+        assert report.get("leaf", "x") == 3
+
+    def test_modules_without_counters_omitted(self):
+        report = MetricsGatherer([Module("silent")]).gather(1)
+        assert report.modules() == []

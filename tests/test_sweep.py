@@ -1,0 +1,89 @@
+"""Tests for the design-space sweep utility."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.sweep import DesignSpaceSweep, apply_override
+from repro.simulators.swift_memory import SwiftSimMemory
+from repro.tracegen.suites import make_app
+
+from conftest import make_tiny_gpu
+
+
+class TestApplyOverride:
+    def test_top_level_field(self, tiny_gpu):
+        modified = apply_override(tiny_gpu, "memory_partitions", 2)
+        assert modified.memory_partitions == 2
+        assert tiny_gpu.memory_partitions == 4
+
+    def test_nested_field(self, tiny_gpu):
+        modified = apply_override(tiny_gpu, "l1.latency", 99)
+        assert modified.l1.latency == 99
+
+    def test_sm_field(self, tiny_gpu):
+        modified = apply_override(tiny_gpu, "sm.scheduler_policy", "LRR")
+        assert modified.sm.scheduler_policy == "LRR"
+
+    def test_unknown_section(self, tiny_gpu):
+        with pytest.raises(ConfigError):
+            apply_override(tiny_gpu, "l9.latency", 1)
+
+    def test_unknown_leaf(self, tiny_gpu):
+        with pytest.raises(ConfigError):
+            apply_override(tiny_gpu, "l1.warmth", 1)
+
+    def test_too_deep(self, tiny_gpu):
+        with pytest.raises(ConfigError):
+            apply_override(tiny_gpu, "sm.exec_units.latency", 1)
+
+    def test_invalid_value_fails_config_validation(self, tiny_gpu):
+        with pytest.raises(ConfigError):
+            apply_override(tiny_gpu, "l1.latency", 0)
+
+
+class TestSweep:
+    def test_cartesian_configurations(self, tiny_gpu):
+        sweep = DesignSpaceSweep(
+            tiny_gpu,
+            {"l1.latency": [8, 16], "l2.latency": [40, 60, 80]},
+        )
+        combos = list(sweep.configurations())
+        assert len(combos) == 6
+        seen = {(o["l1.latency"], o["l2.latency"]) for o, __ in combos}
+        assert len(seen) == 6
+
+    def test_grid_validated_eagerly(self, tiny_gpu):
+        with pytest.raises(ConfigError):
+            DesignSpaceSweep(tiny_gpu, {"l1.nonsense": [1]})
+        with pytest.raises(ConfigError):
+            DesignSpaceSweep(tiny_gpu, {})
+        with pytest.raises(ConfigError):
+            DesignSpaceSweep(tiny_gpu, {"l1.latency": []})
+
+    def test_run_produces_point_per_pair(self, tiny_gpu):
+        sweep = DesignSpaceSweep(tiny_gpu, {"l1.latency": [8, 32]})
+        apps = [make_app("sm", scale="tiny"), make_app("gemm", scale="tiny")]
+        result = sweep.run(SwiftSimMemory, apps)
+        assert len(result.points) == 4
+        assert {p.app_name for p in result.points} == {"sm", "gemm"}
+
+    def test_latency_override_changes_cycles(self, tiny_gpu):
+        sweep = DesignSpaceSweep(tiny_gpu, {"l1.latency": [4, 64]})
+        apps = [make_app("hotspot", scale="tiny")]
+        result = sweep.run(SwiftSimMemory, apps)
+        by_latency = {p.overrides["l1.latency"]: p.total_cycles for p in result.points}
+        assert by_latency[64] > by_latency[4]
+
+    def test_best_and_render(self, tiny_gpu):
+        sweep = DesignSpaceSweep(tiny_gpu, {"l1.latency": [4, 64]})
+        result = sweep.run(SwiftSimMemory, [make_app("hotspot", scale="tiny")])
+        best = result.best("hotspot")
+        assert best.overrides["l1.latency"] == 4
+        text = result.render()
+        assert "l1.latency" in text and "hotspot" in text
+
+    def test_best_unknown_app(self, tiny_gpu):
+        sweep = DesignSpaceSweep(tiny_gpu, {"l1.latency": [4]})
+        result = sweep.run(SwiftSimMemory, [make_app("sm", scale="tiny")])
+        with pytest.raises(ConfigError):
+            result.best("doom")

@@ -1,0 +1,203 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.frontend.isa import InstKind, MemSpace, UnitClass
+from repro.frontend.trace import instruction_mix
+from repro.memory.access import coalesce
+from repro.tracegen.base import KernelBuilder, Scale, WarpBuilder, divergent_mask
+from repro.tracegen.patterns import (
+    broadcast_pattern,
+    coalesced_pattern,
+    random_pattern,
+    region_base,
+    stencil_pattern,
+    strided_pattern,
+)
+from repro.tracegen.suites import APPLICATIONS, app_names, make_app
+
+import random
+
+
+class TestScale:
+    def test_parse_strings(self):
+        assert Scale.parse("tiny") is Scale.TINY
+        assert Scale.parse("SMALL") is Scale.SMALL
+        assert Scale.parse(Scale.MEDIUM) is Scale.MEDIUM
+
+    def test_parse_unknown(self):
+        with pytest.raises(WorkloadError):
+            Scale.parse("huge")
+
+    def test_pick(self):
+        assert Scale.TINY.pick(1, 2, 3) == 1
+        assert Scale.SMALL.pick(1, 2, 3) == 2
+        assert Scale.MEDIUM.pick(1, 2, 3) == 3
+
+
+class TestPatterns:
+    LANES = list(range(32))
+
+    def test_regions_do_not_overlap(self):
+        a = coalesced_pattern(0, 0, self.LANES)
+        b = coalesced_pattern(1, 0, self.LANES)
+        assert max(a) < region_base(1)
+        assert min(b) >= region_base(1)
+
+    def test_coalesced_produces_four_sectors(self):
+        addrs = coalesced_pattern(0, 5, self.LANES)
+        assert len(coalesce(addrs)) == 4
+
+    def test_strided_defeats_coalescing(self):
+        addrs = strided_pattern(0, 0, self.LANES, stride_bytes=384)
+        assert len(coalesce(addrs)) == 32
+
+    def test_broadcast_single_sector(self):
+        addrs = broadcast_pattern(0, 7, self.LANES)
+        assert len(coalesce(addrs)) == 1
+
+    def test_random_within_footprint(self):
+        rng = random.Random(1)
+        addrs = random_pattern(2, rng, self.LANES, footprint_bytes=4096)
+        base = region_base(2)
+        assert all(base <= a < base + 4096 for a in addrs)
+
+    def test_stencil_neighbours_share_lines(self):
+        center = stencil_pattern(0, 10, 2, self.LANES, width=2048)
+        east = stencil_pattern(0, 10, 2, self.LANES, width=2048, offset_cols=1)
+        shared = set(a // 128 for a in center) & set(a // 128 for a in east)
+        assert shared  # adjacent columns overlap in cache lines
+
+    def test_coalesced_wraps_footprint(self):
+        addrs = coalesced_pattern(0, 10**9, self.LANES, wrap_elements=1024)
+        base = region_base(0)
+        assert all(base <= a < base + 1024 * 4 for a in addrs)
+
+
+class TestWarpBuilder:
+    def test_alu_chain_is_serially_dependent(self):
+        builder = WarpBuilder(0, random.Random(0))
+        builder.alu_chain("IADD3", 4)
+        warp = builder.finish()
+        insts = warp.instructions
+        for prev, curr in zip(insts[1:-1], insts[2:-1]):
+            assert prev.dest_regs[0] in curr.src_regs
+
+    def test_pcs_increase_monotonically(self):
+        builder = WarpBuilder(0, random.Random(0))
+        builder.alu_parallel("FADD", 5)
+        warp = builder.finish()
+        pcs = [i.pc for i in warp.instructions]
+        assert pcs == sorted(pcs) and len(set(pcs)) == len(pcs)
+
+    def test_finish_appends_exit(self):
+        builder = WarpBuilder(0, random.Random(0))
+        builder.alu("MOV")
+        warp = builder.finish()
+        assert warp.instructions[-1].kind is InstKind.EXIT
+
+    def test_load_mask_address_consistency(self):
+        builder = WarpBuilder(0, random.Random(0))
+        builder.load([0x100, 0x200], mask=0b11)
+        warp = builder.finish()
+        assert warp.instructions[0].active_threads == 2
+
+    def test_divergent_mask_bounds(self):
+        rng = random.Random(3)
+        for __ in range(100):
+            mask = divergent_mask(rng, min_active=2, max_active=7)
+            assert 2 <= bin(mask).count("1") <= 7
+
+
+class TestKernelBuilder:
+    def test_rejects_empty_geometry(self):
+        with pytest.raises(WorkloadError):
+            KernelBuilder("k", 0, 4)
+
+    def test_deterministic_by_seed_label(self):
+        def body(builder, block_id, warp_id):
+            builder.load(
+                [0x1000 + builder.rng.randrange(256) * 4 for __ in range(32)]
+            )
+
+        k1 = KernelBuilder("same", 2, 2).build(body)
+        k2 = KernelBuilder("same", 2, 2).build(body)
+        k3 = KernelBuilder("different", 2, 2).build(body)
+        addr = lambda k: k.blocks[0].warps[0].instructions[0].addresses
+        assert addr(k1) == addr(k2)
+        assert addr(k1) != addr(k3)
+
+
+class TestSuites:
+    def test_all_five_suites_covered(self):
+        suites = {APPLICATIONS[name][0] for name in APPLICATIONS}
+        assert suites == {"rodinia", "polybench", "mars", "tango", "pannotia"}
+
+    def test_at_least_twenty_apps(self):
+        assert len(app_names()) >= 20
+
+    @pytest.mark.parametrize("name", app_names())
+    def test_every_app_builds_at_tiny(self, name):
+        app = make_app(name, scale="tiny")
+        assert app.num_instructions > 0
+        assert app.suite
+
+    def test_unknown_app(self):
+        with pytest.raises(WorkloadError):
+            make_app("doom")
+
+    def test_scales_grow(self):
+        tiny = make_app("gemm", scale="tiny").num_instructions
+        small = make_app("gemm", scale="small").num_instructions
+        assert small > tiny
+
+    def test_generation_deterministic(self):
+        a = make_app("bfs", scale="tiny")
+        b = make_app("bfs", scale="tiny")
+        for ka, kb in zip(a.kernels, b.kernels):
+            for ba, bb in zip(ka.blocks, kb.blocks):
+                for wa, wb in zip(ba.warps, bb.warps):
+                    assert wa.instructions == wb.instructions
+
+    def test_app_characters(self):
+        # Spot-check that apps carry their documented character.
+        mixes = {
+            name: instruction_mix(make_app(name, scale="tiny"))
+            for name in ("sm", "gru", "bfs", "gemm")
+        }
+        # String match is INT-heavy.
+        assert mixes["sm"].get(UnitClass.INT, 0) > mixes["sm"].get(UnitClass.SP, 0)
+        # DNN apps exercise the SFU (activations).
+        assert mixes["gru"].get(UnitClass.SFU, 0) > 0
+        # GEMM is FP-heavy.
+        assert mixes["gemm"].get(UnitClass.SP, 0) > mixes["gemm"].get(UnitClass.INT, 0)
+
+    def test_graph_apps_diverge(self):
+        app = make_app("color", scale="tiny")
+        partial = 0
+        total = 0
+        for kernel in app.kernels:
+            for inst in kernel.memory_accesses():
+                total += 1
+                if inst.active_threads < 32:
+                    partial += 1
+        assert partial > 0.3 * total
+
+    def test_gemm_uses_shared_memory_and_barriers(self):
+        app = make_app("gemm", scale="tiny")
+        kernel = app.kernels[0]
+        opcodes = {
+            inst.opcode
+            for block in kernel.blocks
+            for warp in block.warps
+            for inst in warp.instructions
+        }
+        assert "LDS" in opcodes and "STS" in opcodes and "BAR.SYNC" in opcodes
+        assert kernel.blocks[0].shared_mem_bytes > 0
+
+    def test_lu_blocks_shrink_across_kernels(self):
+        app = make_app("lu", scale="small")
+        block_counts = [len(k.blocks) for k in app.kernels]
+        assert block_counts == sorted(block_counts, reverse=True)
+        assert block_counts[0] > block_counts[-1]

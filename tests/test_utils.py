@@ -1,0 +1,135 @@
+"""Unit tests for repro.utils (bitops, stats, rng)."""
+
+import math
+
+import pytest
+
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bit_count,
+    ceil_div,
+    full_mask,
+    is_pow2,
+    log2_exact,
+    mask_iter,
+)
+from repro.utils.rng import derive_seed, stable_hash
+from repro.utils.stats import geomean, mean_abs_pct_error, pct_error, summarize
+
+
+class TestBitops:
+    def test_is_pow2_true_cases(self):
+        assert all(is_pow2(1 << n) for n in range(20))
+
+    def test_is_pow2_false_cases(self):
+        assert not is_pow2(0)
+        assert not is_pow2(-4)
+        assert not is_pow2(3)
+        assert not is_pow2(12)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(128) == 7
+
+    def test_log2_exact_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            log2_exact(100)
+
+    def test_align_down(self):
+        assert align_down(0x12345, 0x100) == 0x12300
+        assert align_down(0x100, 0x100) == 0x100
+
+    def test_align_up(self):
+        assert align_up(0x101, 0x100) == 0x200
+        assert align_up(0x100, 0x100) == 0x100
+
+    def test_align_rejects_non_pow2_granularity(self):
+        with pytest.raises(ValueError):
+            align_down(10, 3)
+        with pytest.raises(ValueError):
+            align_up(10, 6)
+
+    def test_ceil_div(self):
+        assert ceil_div(0, 4) == 0
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(4, 4) == 1
+        assert ceil_div(5, 4) == 2
+
+    def test_ceil_div_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_full_mask(self):
+        assert full_mask(0) == 0
+        assert full_mask(32) == 0xFFFFFFFF
+
+    def test_bit_count(self):
+        assert bit_count(0) == 0
+        assert bit_count(0xFFFFFFFF) == 32
+        assert bit_count(0b1010101) == 4
+
+    def test_mask_iter(self):
+        assert list(mask_iter(0b10110)) == [1, 2, 4]
+        assert list(mask_iter(0)) == []
+
+
+class TestStats:
+    def test_geomean_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_geomean_known(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_pct_error_signed(self):
+        assert pct_error(110, 100) == pytest.approx(10.0)
+        assert pct_error(90, 100) == pytest.approx(-10.0)
+
+    def test_pct_error_rejects_zero_actual(self):
+        with pytest.raises(ValueError):
+            pct_error(1, 0)
+
+    def test_mean_abs_pct_error(self):
+        pairs = [(110, 100), (80, 100)]
+        assert mean_abs_pct_error(pairs) == pytest.approx(15.0)
+
+    def test_summarize(self):
+        stats = summarize([4.0, 1.0, 3.0, 2.0])
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+
+    def test_summarize_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0])["median"] == 2.0
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRNG:
+    def test_stable_hash_is_stable(self):
+        assert stable_hash("swift-sim") == stable_hash("swift-sim")
+
+    def test_stable_hash_differs(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed("app", 1, 2) == derive_seed("app", 1, 2)
+
+    def test_derive_seed_sensitive_to_each_label(self):
+        base = derive_seed("app", 1, 2)
+        assert derive_seed("app", 1, 3) != base
+        assert derive_seed("app", 2, 2) != base
+        assert derive_seed("other", 1, 2) != base
+
+    def test_derive_seed_fits_in_63_bits(self):
+        for label in range(50):
+            assert 0 <= derive_seed(label) < (1 << 63)

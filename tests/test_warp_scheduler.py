@@ -1,0 +1,138 @@
+"""Unit tests for warp scheduling policies."""
+
+import pytest
+
+from repro.core.warp import BlockRuntime, WarpState
+from repro.core.warp_scheduler import (
+    GTOScheduler,
+    LRRScheduler,
+    TwoLevelScheduler,
+    make_warp_scheduler,
+    register_policy,
+    WarpSchedulerPolicy,
+)
+from repro.errors import ConfigError
+from repro.frontend.trace import BlockTrace
+
+from conftest import alu, make_warp
+
+
+def make_warps(count):
+    warps_traces = [make_warp([alu(0, 1)], warp_id=i) for i in range(count)]
+    block = BlockRuntime(BlockTrace(0, warps_traces), sm_id=0)
+    states = [WarpState(slot, slot, trace, block) for slot, trace in enumerate(warps_traces)]
+    block.warps.extend(states)
+    return states
+
+
+class TestGTO:
+    def test_prefers_last_issued(self):
+        warps = make_warps(4)
+        gto = GTOScheduler()
+        gto.issued(warps[2], cycle=0)
+        ordered = list(gto.order(warps, cycle=1))
+        assert ordered[0] is warps[2]
+
+    def test_falls_back_to_oldest(self):
+        warps = make_warps(4)
+        gto = GTOScheduler()
+        ordered = list(gto.order(warps, cycle=0))
+        assert ordered[0] is warps[0]  # oldest age
+
+    def test_greedy_absent_from_candidates(self):
+        warps = make_warps(4)
+        gto = GTOScheduler()
+        gto.issued(warps[1], cycle=0)
+        ordered = list(gto.order([warps[0], warps[2]], cycle=1))
+        assert ordered[0] is warps[0]
+
+    def test_no_duplicates(self):
+        warps = make_warps(4)
+        gto = GTOScheduler()
+        gto.issued(warps[0], cycle=0)
+        ordered = list(gto.order(warps, cycle=1))
+        assert len(ordered) == len(set(id(w) for w in ordered)) == 4
+
+    def test_reset_clears_greedy(self):
+        warps = make_warps(2)
+        gto = GTOScheduler()
+        gto.issued(warps[1], 0)
+        gto.reset()
+        assert list(gto.order(warps, 1))[0] is warps[0]
+
+
+class TestLRR:
+    def test_rotates_after_issuer(self):
+        warps = make_warps(4)
+        lrr = LRRScheduler()
+        lrr.issued(warps[1], 0)
+        ordered = list(lrr.order(warps, 1))
+        assert [w.slot for w in ordered] == [2, 3, 0, 1]
+
+    def test_initial_order_by_slot(self):
+        warps = make_warps(3)
+        assert [w.slot for w in LRRScheduler().order(warps, 0)] == [0, 1, 2]
+
+    def test_fairness_over_rounds(self):
+        warps = make_warps(4)
+        lrr = LRRScheduler()
+        issued = []
+        for cycle in range(8):
+            winner = next(iter(lrr.order(warps, cycle)))
+            lrr.issued(winner, cycle)
+            issued.append(winner.slot)
+        assert issued == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestTwoLevel:
+    def test_pool_bounds_active_set(self):
+        warps = make_warps(12)
+        scheduler = TwoLevelScheduler(active_pool_size=4)
+        ordered = list(scheduler.order(warps, 0))
+        assert len(ordered) == 4
+        assert {w.slot for w in ordered} == {0, 1, 2, 3}
+
+    def test_stalled_warps_rotate_out(self):
+        warps = make_warps(6)
+        scheduler = TwoLevelScheduler(active_pool_size=2)
+        scheduler.order(warps, 0)
+        # Warps 0 and 1 leave the candidate set (stalled): pool refills.
+        ordered = list(scheduler.order(warps[2:], 1))
+        assert {w.slot for w in ordered} == {2, 3}
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ConfigError):
+            TwoLevelScheduler(active_pool_size=0)
+
+
+class TestRegistry:
+    def test_factory_makes_each(self):
+        assert isinstance(make_warp_scheduler("GTO"), GTOScheduler)
+        assert isinstance(make_warp_scheduler("lrr"), LRRScheduler)
+        assert isinstance(make_warp_scheduler("Two_Level"), TwoLevelScheduler)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            make_warp_scheduler("FAIR")
+
+    def test_register_custom_policy(self):
+        @register_policy
+        class _Newest(WarpSchedulerPolicy):
+            policy_name = "TEST_NEWEST"
+
+            def order(self, candidates, cycle):
+                return sorted(candidates, key=lambda w: -w.age)
+
+        policy = make_warp_scheduler("test_newest")
+        warps = make_warps(3)
+        assert next(iter(policy.order(warps, 0))).slot == 2
+        # And the config layer now accepts the name.
+        from repro.frontend.config import SCHEDULER_POLICIES
+        assert "TEST_NEWEST" in SCHEDULER_POLICIES
+
+    def test_register_requires_name(self):
+        with pytest.raises(ConfigError):
+            @register_policy
+            class _Anonymous(WarpSchedulerPolicy):
+                def order(self, candidates, cycle):
+                    return candidates
