@@ -16,8 +16,17 @@ Quickstart::
     print(result.total_cycles, result.ipc)
 """
 
+from repro.check import (
+    CheckReport,
+    EngineSanitizer,
+    differential_check,
+    run_checks,
+    shadow_jump_check,
+)
 from repro.errors import (
+    CheckError,
     ConfigError,
+    MetricsError,
     PlanError,
     SimulationError,
     SwiftSimError,
@@ -63,12 +72,16 @@ __all__ = [
     "APPLICATIONS",
     "AccelSimLike",
     "ApplicationTrace",
+    "CheckError",
+    "CheckReport",
     "ConfigError",
     "GPUConfig",
     "GPU_PRESETS",
+    "EngineSanitizer",
     "GPUSimulator",
     "IntervalSimulator",
     "KernelTrace",
+    "MetricsError",
     "ModelingPlan",
     "PlanError",
     "PlanSimulator",
@@ -84,11 +97,14 @@ __all__ = [
     "TraceInstruction",
     "WarpTrace",
     "WorkloadError",
+    "differential_check",
     "get_preset",
     "load_gpu_config",
     "load_trace",
     "make_app",
+    "run_checks",
     "save_gpu_config",
     "save_trace",
+    "shadow_jump_check",
     "simulate_apps_parallel",
 ]

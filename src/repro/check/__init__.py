@@ -1,0 +1,50 @@
+"""``repro.check`` — simulation sanitizer & differential verification.
+
+Swift-Sim's speedups are *exactness claims*: clock jumping and hybrid
+modules must agree with per-cycle, cycle-accurate execution wherever
+their plans coincide.  This package turns those claims into
+machine-checked invariants, in four pillars:
+
+1. :class:`~repro.check.sanitizer.EngineSanitizer` — runtime checker
+   hooks on the engine (monotonic ticks, stable same-cycle ordering, no
+   wake-before-now);
+2. :func:`~repro.check.shadow.shadow_jump_check` — re-runs a workload
+   with the engine's clock jumping inverted and demands bit-identical
+   cycles and counters;
+3. :func:`~repro.check.differential.differential_check` — runs the same
+   trace through all assembled simulators and checks declared
+   invariants (exact agreement for plan-coincident cycle-accurate
+   slots, bounded divergence for hybrid ones);
+4. :func:`~repro.check.determinism.determinism_check` — serial,
+   multiprocess-parallel, and repeated runs must be bit-identical.
+
+``repro check`` (see :mod:`repro.cli`) drives all of this from the
+command line and emits a machine-readable JSON report; see
+``docs/verification.md`` for the methodology.
+"""
+
+from repro.check.determinism import determinism_check
+from repro.check.differential import (
+    DEFAULT_TOLERANCE,
+    SLOT_EXACT_COUNTERS,
+    differential_check,
+)
+from repro.check.report import CheckFinding, CheckReport
+from repro.check.runner import MODES, run_checks, select_apps
+from repro.check.sanitizer import EngineSanitizer
+from repro.check.shadow import TICK_OBSERVER_COUNTERS, shadow_jump_check
+
+__all__ = [
+    "CheckFinding",
+    "CheckReport",
+    "DEFAULT_TOLERANCE",
+    "EngineSanitizer",
+    "MODES",
+    "SLOT_EXACT_COUNTERS",
+    "TICK_OBSERVER_COUNTERS",
+    "determinism_check",
+    "differential_check",
+    "run_checks",
+    "select_apps",
+    "shadow_jump_check",
+]

@@ -11,9 +11,11 @@ Everything a downstream user needs without writing Python::
     python -m repro figure4  --apps bfs,gemm --scale tiny
     python -m repro figure5  --apps bfs,gemm --workers 4
     python -m repro figure6  --apps bfs,gemm
+    python -m repro check    --mode shadow-jump --suite rodinia
 
 All commands return a process exit code of 0 on success; configuration
-or workload errors print a one-line message and return 2.
+or workload errors print a one-line message and return 2.  ``check``
+additionally returns 1 when a verification invariant is violated.
 """
 
 from __future__ import annotations
@@ -105,6 +107,33 @@ def _build_parser() -> argparse.ArgumentParser:
         fig.add_argument("--apps", help="comma-separated application subset")
         if name == "figure5":
             fig.add_argument("--workers", type=int, default=None)
+
+    from repro.check import MODES as CHECK_MODES
+
+    check = commands.add_parser(
+        "check",
+        help="run the simulation sanitizer / differential verification",
+    )
+    check.add_argument(
+        "--mode", default="all", choices=CHECK_MODES,
+        help="which verification pillar to run",
+    )
+    check.add_argument("--suite", default="all",
+                       help="benchmark suite to cover (or 'all')")
+    check.add_argument("--apps", help="comma-separated application subset")
+    check.add_argument("--gpu", default="rtx2080ti", help="GPU preset name")
+    check.add_argument("--config", help="path to a GPU config JSON (instead of --gpu)")
+    check.add_argument("--scale", default="tiny", help="workload scale")
+    check.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative cycle-divergence bound for hybrid simulators",
+    )
+    check.add_argument("--workers", type=int, default=None,
+                       help="pool size for the determinism checks")
+    check.add_argument("--json", dest="json_out",
+                       help="write the machine-readable report to this path")
+    check.add_argument("--verbose", action="store_true",
+                       help="also print info-level findings")
     return parser
 
 
@@ -245,6 +274,34 @@ def _cmd_figure6(args) -> None:
     print(figure6(scale=args.scale, apps=_apps_arg(args)).render())
 
 
+def _cmd_check(args) -> None:
+    from repro.check import DEFAULT_TOLERANCE, run_checks
+
+    gpu = _resolve_gpu(args)
+    report = run_checks(
+        gpu,
+        mode=args.mode,
+        apps=_apps_arg(args),
+        suite=args.suite,
+        scale=args.scale,
+        tolerance=(
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        ),
+        workers=args.workers,
+    )
+    print(report.render(verbose=args.verbose))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote JSON report to {args.json_out}")
+    if not report.ok:
+        raise _CheckFailed()
+
+
+class _CheckFailed(Exception):
+    """Signals a completed check run that found violations (exit code 1)."""
+
+
 _COMMANDS = {
     "apps": _cmd_apps,
     "presets": _cmd_presets,
@@ -257,6 +314,7 @@ _COMMANDS = {
     "figure4": _cmd_figure4,
     "figure5": _cmd_figure5,
     "figure6": _cmd_figure6,
+    "check": _cmd_check,
 }
 
 
@@ -266,6 +324,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         _COMMANDS[args.command](args)
+    except _CheckFailed:
+        return 1
     except SwiftSimError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -27,5 +27,15 @@ class SimulationError(SwiftSimError):
     """The simulation engine reached an inconsistent state."""
 
 
+class MetricsError(SwiftSimError):
+    """Metrics gathering detected a corrupting condition (e.g. two
+    distinct modules sharing one name inside a single module tree)."""
+
+
+class CheckError(SwiftSimError):
+    """A :mod:`repro.check` verification check found a violation while
+    running in strict mode."""
+
+
 class WorkloadError(SwiftSimError):
     """A synthetic workload specification is invalid."""

@@ -9,8 +9,12 @@ declared in a :class:`~repro.sim.plan.ModelingPlan` and performance
 counters harvested by the :class:`~repro.sim.metrics.MetricsGatherer`.
 """
 
-from repro.sim.engine import ClockedModule, Engine
-from repro.sim.metrics import MetricsGatherer, MetricsReport
+from repro.sim.engine import ClockedModule, Engine, EngineChecker
+from repro.sim.metrics import (
+    DuplicateModuleNameWarning,
+    MetricsGatherer,
+    MetricsReport,
+)
 from repro.sim.module import Counters, ModelLevel, Module
 from repro.sim.plan import (
     ACCEL_LIKE_PLAN,
@@ -29,7 +33,9 @@ __all__ = [
     "ClockedModule",
     "CompletionListener",
     "Counters",
+    "DuplicateModuleNameWarning",
     "Engine",
+    "EngineChecker",
     "InstructionSink",
     "IssueResult",
     "MetricsGatherer",

@@ -32,6 +32,34 @@ from repro.sim.module import Module
 _IDLE = -1
 
 
+class EngineChecker:
+    """Opt-in observer of engine scheduling decisions.
+
+    :mod:`repro.check` attaches subclasses (via
+    :meth:`Engine.attach_checker`) to validate the jump contract at
+    runtime — monotonic tick cycles, stable same-cycle ordering, no
+    wake-before-now.  The base class is a no-op, so attaching one never
+    changes simulation behavior, only observes it.
+    """
+
+    def on_add(self, module: "ClockedModule", start_cycle: int) -> None:
+        """``module`` was registered to first tick at ``start_cycle``."""
+
+    def on_schedule(self, module: "ClockedModule", cycle: int, now: int) -> None:
+        """``module`` was (re)scheduled to tick at ``cycle``; the engine
+        clock currently reads ``now``."""
+
+    def on_wake(self, module: "ClockedModule", cycle: int, now: int) -> None:
+        """:meth:`Engine.wake` was called with the *requested* ``cycle``
+        (before any clamping to ``now``)."""
+
+    def on_tick(self, module: "ClockedModule", cycle: int, rank: int) -> None:
+        """``module`` (registration rank ``rank``) is about to tick."""
+
+    def on_run_end(self, final_cycle: int) -> None:
+        """:meth:`Engine.run` drained its schedule at ``final_cycle``."""
+
+
 class ClockedModule(Module):
     """A module the engine ticks."""
 
@@ -64,14 +92,25 @@ class Engine:
         self._scheduled: Dict[ClockedModule, int] = {}
         self._modules: List[ClockedModule] = []
         self._rank: Dict[ClockedModule, int] = {}
+        self.checker: Optional[EngineChecker] = None
+
+    def attach_checker(self, checker: EngineChecker) -> None:
+        """Attach an opt-in :class:`EngineChecker` (see :mod:`repro.check`)."""
+        self.checker = checker
 
     def add(self, module: ClockedModule, start_cycle: int = 0) -> None:
         """Register ``module`` to first tick at ``start_cycle``."""
+        if module in self._rank:
+            raise SimulationError(
+                f"module {module.name!r} is already registered with this engine"
+            )
         # Same-cycle ties break by registration order — a *stable* key, so
         # clock jumping cannot reorder modules relative to per-cycle
         # ticking (required for jump exactness).
         self._rank[module] = len(self._modules)
         self._modules.append(module)
+        if self.checker is not None:
+            self.checker.on_add(module, start_cycle)
         self._schedule(module, start_cycle)
 
     def _schedule(self, module: ClockedModule, cycle: int) -> None:
@@ -82,13 +121,24 @@ class Engine:
         self._scheduled[module] = cycle
         heapq.heappush(self._heap, (cycle, self._rank[module], self._seq, module))
         self._seq += 1
+        if self.checker is not None:
+            self.checker.on_schedule(module, cycle, self.cycle)
 
     def wake(self, module: ClockedModule, cycle: int) -> None:
         """Ensure ``module`` is ticked no later than ``cycle``.
 
         Safe to call for already-scheduled modules: an earlier existing
-        schedule wins, a later one is superseded.
+        schedule wins, a later one is superseded.  Waking a module that
+        was never registered via :meth:`add` is a caller bug and raises
+        :class:`SimulationError`.
         """
+        if module not in self._rank:
+            raise SimulationError(
+                f"cannot wake module {module.name!r}: it was never registered "
+                f"with this engine via add()"
+            )
+        if self.checker is not None:
+            self.checker.on_wake(module, cycle, self.cycle)
         if cycle < self.cycle:
             cycle = self.cycle
         current = self._scheduled.get(module, _IDLE)
@@ -107,9 +157,10 @@ class Engine:
         :class:`SimulationError` rather than hanging.
         """
         heap = self._heap
+        checker = self.checker
         last_cycle = self.cycle
         while heap:
-            cycle, __, __seq, module = heapq.heappop(heap)
+            cycle, rank, __seq, module = heapq.heappop(heap)
             if self._scheduled.get(module, _IDLE) != cycle:
                 continue  # superseded entry
             if cycle > max_cycles:
@@ -119,6 +170,8 @@ class Engine:
                 )
             self.cycle = cycle
             del self._scheduled[module]
+            if checker is not None:
+                checker.on_tick(module, cycle, rank)
             next_cycle = module.tick(cycle)
             last_cycle = cycle
             if next_cycle is not None:
@@ -134,4 +187,6 @@ class Engine:
                     f"module {module.name!r} went idle with work outstanding"
                 )
         self.cycle = last_cycle
+        if checker is not None:
+            checker.on_run_end(last_cycle)
         return last_cycle

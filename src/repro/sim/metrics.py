@@ -8,9 +8,16 @@ about (IPC, cache miss rates, stall breakdowns).
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional
 
+from repro.errors import MetricsError
 from repro.sim.module import Module
+
+
+class DuplicateModuleNameWarning(RuntimeWarning):
+    """Two distinct module objects inside one module tree share a name,
+    so their counters merge into one report row."""
 
 
 class MetricsReport:
@@ -71,16 +78,57 @@ class MetricsReport:
 
 
 class MetricsGatherer:
-    """Collects counters from a module hierarchy."""
+    """Collects counters from a module hierarchy.
 
-    def __init__(self, roots: Iterable[Module]) -> None:
+    Counters of equally named modules filling the *same component slot*
+    are summed: that is the documented aggregation the simulators rely on
+    — every sub-core's ``ldst`` unit, and ``sm0`` of kernel 1 with
+    ``sm0`` of kernel 2, accumulate into one report row.
+
+    Two distinct module objects sharing one name while filling
+    *different* component slots, however, indicate a mis-assembled
+    hierarchy: unrelated counters would merge silently into one row and
+    corrupt the report (e.g. a cache named ``sm0`` folding its misses
+    into an SM's row).  ``on_duplicate`` controls what :meth:`gather`
+    does when it detects that — ``"warn"`` (default) emits a
+    :class:`DuplicateModuleNameWarning`, ``"raise"`` raises
+    :class:`~repro.errors.MetricsError`, and ``"merge"`` keeps the legacy
+    silent behavior.
+    """
+
+    _POLICIES = ("warn", "raise", "merge")
+
+    def __init__(self, roots: Iterable[Module], on_duplicate: str = "warn") -> None:
+        if on_duplicate not in self._POLICIES:
+            raise MetricsError(
+                f"on_duplicate must be one of {self._POLICIES}, got {on_duplicate!r}"
+            )
         self._roots = list(roots)
+        self._on_duplicate = on_duplicate
+
+    def _note_collision(self, name: str, component: str, other: str) -> None:
+        message = (
+            f"two distinct modules named {name!r} fill different component "
+            f"slots ({other!r} vs {component!r}); their counters merge into "
+            f"one report row, corrupting it (rename one, or pass "
+            f"on_duplicate='merge' if intended)"
+        )
+        if self._on_duplicate == "raise":
+            raise MetricsError(message)
+        warnings.warn(message, DuplicateModuleNameWarning, stacklevel=3)
 
     def gather(self, total_cycles: int) -> MetricsReport:
         """Walk all registered roots and snapshot their counters."""
         per_module: Dict[str, Dict[str, int]] = {}
+        component_of: Dict[str, str] = {}
+        flagged = set()
         for root in self._roots:
             for module in root.walk():
+                if self._on_duplicate != "merge":
+                    first = component_of.setdefault(module.name, module.component)
+                    if first != module.component and module.name not in flagged:
+                        flagged.add(module.name)
+                        self._note_collision(module.name, module.component, first)
                 counters = module.counters.as_dict()
                 if not counters:
                     continue

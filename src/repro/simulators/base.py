@@ -144,9 +144,21 @@ class PlanSimulator(GPUSimulator):
         app: ApplicationTrace,
         max_kernel_cycles: int = DEFAULT_MAX_KERNEL_CYCLES,
         gather_metrics: bool = True,
+        engine_allow_jump: Optional[bool] = None,
+        checker=None,
     ) -> SimulationResult:
-        allow_jump = self.plan["clocking"] == "event_jump"
-        per_cycle = not allow_jump
+        """Simulate ``app`` and return a :class:`SimulationResult`.
+
+        ``engine_allow_jump`` overrides the *engine's* clocking mode only
+        — module assembly still follows the plan — so :mod:`repro.check`
+        can shadow-run a jump-clocked plan per-cycle (the jump contract
+        says both must be bit-identical).  ``checker`` is an optional
+        :class:`~repro.sim.engine.EngineChecker` attached to every
+        kernel's engine (the runtime sanitizer).
+        """
+        plan_jump = self.plan["clocking"] == "event_jump"
+        allow_jump = plan_jump if engine_allow_jump is None else engine_allow_jump
+        per_cycle = not plan_jump
         persistent_memory = self._build_memory()
         clock = 0
         kernel_results: List[KernelResult] = []
@@ -185,6 +197,8 @@ class PlanSimulator(GPUSimulator):
                 for sm_id in range(num_sms)
             ]
             engine = Engine(allow_jump=allow_jump, start_cycle=clock)
+            if checker is not None:
+                engine.attach_checker(checker)
             for sm in sms:
                 sm.attach_engine(engine)
                 engine.add(sm, start_cycle=clock)

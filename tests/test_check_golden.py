@@ -1,0 +1,79 @@
+"""Golden suite regression: per-app cycle counts on a real GPU preset.
+
+`tests/data/golden_suite_cycles.json` snapshots the cycle counts of all
+three simulators over one full benchmark suite (Rodinia) on one real GPU
+preset (the paper's RTX 2080 Ti) — the checked-in baseline every future
+performance refactor diffs against.  Simulation is fully deterministic,
+so any mismatch is a *timing-model change*: fine when intentional, never
+by accident.
+
+When a deliberate modeling change shifts these numbers, regenerate with:
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro import AccelSimLike, SwiftSimBasic, SwiftSimMemory, get_preset, make_app
+    from repro.tracegen.suites import APPLICATIONS
+    path = "tests/data/golden_suite_cycles.json"
+    fixture = json.load(open(path))
+    gpu = get_preset(fixture["gpu_preset"])
+    apps = [n for n, (s, _) in APPLICATIONS.items() if s == fixture["suite"]]
+    fixture["cycles"] = {
+        name: {cls.__name__: cls(gpu).simulate(
+                   make_app(name, scale=fixture["scale"]),
+                   gather_metrics=False).total_cycles
+               for cls in (AccelSimLike, SwiftSimBasic, SwiftSimMemory)}
+        for name in apps
+    }
+    with open(path, "w") as fh:
+        json.dump(fixture, fh, indent=2, sort_keys=True); fh.write("\n")
+    EOF
+
+and explain the shift in the commit message.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import AccelSimLike, SwiftSimBasic, SwiftSimMemory, get_preset, make_app
+from repro.tracegen.suites import APPLICATIONS
+
+FIXTURE_PATH = pathlib.Path(__file__).parent / "data" / "golden_suite_cycles.json"
+
+with FIXTURE_PATH.open() as _fh:
+    FIXTURE = json.load(_fh)
+
+_SIMULATORS = {
+    "AccelSimLike": AccelSimLike,
+    "SwiftSimBasic": SwiftSimBasic,
+    "SwiftSimMemory": SwiftSimMemory,
+}
+
+
+def test_fixture_covers_the_whole_suite():
+    """Every app of the snapshotted suite is present, with all three
+    simulators — a new app added to the suite must be snapshotted too."""
+    suite_apps = sorted(
+        name for name, (suite, _) in APPLICATIONS.items()
+        if suite == FIXTURE["suite"]
+    )
+    assert sorted(FIXTURE["cycles"]) == suite_apps
+    for app_name, per_sim in FIXTURE["cycles"].items():
+        assert sorted(per_sim) == sorted(_SIMULATORS), app_name
+
+
+@pytest.mark.parametrize("app_name", sorted(FIXTURE["cycles"]))
+@pytest.mark.parametrize("simulator_name", sorted(_SIMULATORS))
+def test_golden_suite_cycles(app_name, simulator_name):
+    gpu = get_preset(FIXTURE["gpu_preset"])
+    app = make_app(app_name, scale=FIXTURE["scale"])
+    simulator = _SIMULATORS[simulator_name](gpu)
+    cycles = simulator.simulate(app, gather_metrics=False).total_cycles
+    golden = FIXTURE["cycles"][app_name][simulator_name]
+    assert cycles == golden, (
+        f"{simulator_name} on {app_name} ({FIXTURE['gpu_preset']}, "
+        f"scale {FIXTURE['scale']}): timing model changed "
+        f"(got {cycles}, golden {golden}); regenerate the fixture if "
+        f"intentional (see module docstring)"
+    )

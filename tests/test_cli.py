@@ -126,6 +126,57 @@ class TestReportCommand:
         assert "wrote report" in capsys.readouterr().out
 
 
+class TestCheckCommand:
+    def test_check_all_modes_pass(self, capsys, tiny_config_path):
+        code = main([
+            "check", "--mode", "all", "--apps", "gemm",
+            "--config", tiny_config_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS: no invariant violations" in out
+
+    def test_check_writes_json_report(self, capsys, tmp_path, tiny_config_path):
+        report_path = tmp_path / "check.json"
+        code = main([
+            "check", "--mode", "shadow-jump", "--apps", "sm",
+            "--config", tiny_config_path, "--json", str(report_path),
+        ])
+        assert code == 0
+        data = json.loads(report_path.read_text())
+        assert data["ok"] is True
+        assert data["mode"] == "shadow-jump"
+        assert data["apps"] == ["sm"]
+        assert data["violations"] == 0
+
+    def test_check_verbose_shows_info_findings(self, capsys, tiny_config_path):
+        code = main([
+            "check", "--mode", "sanitize", "--apps", "gemm",
+            "--config", tiny_config_path, "--verbose",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[info] sanitizer" in out
+
+    def test_check_violations_exit_1(self, capsys, tiny_config_path):
+        # An absurdly tight divergence bound makes the (healthy) hybrid
+        # simulators violate it — exercising the failure exit path.
+        code = main([
+            "check", "--mode", "differential", "--apps", "bfs",
+            "--config", tiny_config_path, "--tolerance", "0.0001",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "exceeds" in out
+
+    def test_check_unknown_suite_exits_2(self, capsys, tiny_config_path):
+        code = main([
+            "check", "--suite", "spec2017", "--config", tiny_config_path,
+        ])
+        assert code == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+
 class TestFigures:
     def test_figure4_subset(self, capsys, monkeypatch):
         # Full presets are too slow for unit tests; patch the default GPU.

@@ -35,6 +35,26 @@ class TestParallelDriver:
         for name in APPS:
             assert parallel[name].total_cycles == sequential[name].total_cycles
 
+    @pytest.mark.parametrize("simulator_cls", [SwiftSimBasic, SwiftSimMemory])
+    def test_parallel_matches_serial_exactly(self, tiny_gpu, simulator_cls):
+        """Pooled workers must reproduce the serial gather_metrics=False
+        path bit-exactly, down to per-kernel boundaries: workers rebuild
+        the simulator from (config, plan), so any state leaking through
+        pickling would show up here."""
+        apps = [make_app(name, scale="tiny") for name in APPS]
+        pooled = simulate_apps_parallel(simulator_cls(tiny_gpu), apps, workers=2)
+        for app in apps:
+            serial = simulator_cls(tiny_gpu).simulate(app, gather_metrics=False)
+            result = pooled[app.name]
+            assert result.total_cycles == serial.total_cycles
+            assert [
+                (k.name, k.start_cycle, k.end_cycle, k.instructions)
+                for k in result.kernels
+            ] == [
+                (k.name, k.start_cycle, k.end_cycle, k.instructions)
+                for k in serial.kernels
+            ]
+
     def test_parallel_with_analytical_memory(self, tiny_gpu):
         apps = [make_app(name, scale="tiny") for name in APPS[:2]]
         sim = SwiftSimMemory(tiny_gpu)

@@ -1,11 +1,13 @@
 """Unit tests for the framework core: modules, counters, engine, plans,
 metrics."""
 
+import warnings
+
 import pytest
 
-from repro.errors import PlanError, SimulationError
+from repro.errors import MetricsError, PlanError, SimulationError
 from repro.sim.engine import ClockedModule, Engine
-from repro.sim.metrics import MetricsGatherer
+from repro.sim.metrics import DuplicateModuleNameWarning, MetricsGatherer
 from repro.sim.module import Counters, ModelLevel, Module
 from repro.sim.plan import (
     ACCEL_LIKE_PLAN,
@@ -281,3 +283,57 @@ class TestMetricsGatherer:
     def test_modules_without_counters_omitted(self):
         report = MetricsGatherer([Module("silent")]).gather(1)
         assert report.modules() == []
+
+    @staticmethod
+    def _cross_component_clash():
+        """Two modules named "sm0" filling *different* component slots."""
+        sm = Module("sm0")
+        sm.component = "sm"
+        sm.counters.add("instructions_committed", 5)
+        cache = Module("sm0")
+        cache.component = "cache"
+        cache.counters.add("sector_misses", 7)
+        return sm, cache
+
+    def test_cross_component_duplicate_warns(self):
+        sm, cache = self._cross_component_clash()
+        gatherer = MetricsGatherer([sm, cache])
+        with pytest.warns(DuplicateModuleNameWarning, match="'sm0'"):
+            report = gatherer.gather(total_cycles=10)
+        # Detection warns but the report is still produced (merged).
+        assert report.get("sm0", "instructions_committed") == 5
+        assert report.get("sm0", "sector_misses") == 7
+
+    def test_cross_component_duplicate_warns_once_per_name(self):
+        sm, cache = self._cross_component_clash()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            MetricsGatherer([sm, cache, cache]).gather(1)
+        assert len(caught) == 1
+
+    def test_cross_component_duplicate_raise_policy(self):
+        sm, cache = self._cross_component_clash()
+        gatherer = MetricsGatherer([sm, cache], on_duplicate="raise")
+        with pytest.raises(MetricsError, match="different component slots"):
+            gatherer.gather(total_cycles=10)
+
+    def test_cross_component_duplicate_merge_policy_is_silent(self):
+        sm, cache = self._cross_component_clash()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            MetricsGatherer([sm, cache], on_duplicate="merge").gather(1)
+
+    def test_same_component_duplicates_stay_silent(self):
+        # The documented aggregation path must never warn: every
+        # sub-core's "ldst" unit merges into one row by design.
+        a, b = Module("ldst"), Module("ldst")
+        a.counters.add("x", 1)
+        b.counters.add("x", 2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = MetricsGatherer([a, b]).gather(1)
+        assert report.get("ldst", "x") == 3
+
+    def test_invalid_duplicate_policy_rejected(self):
+        with pytest.raises(MetricsError, match="on_duplicate"):
+            MetricsGatherer([], on_duplicate="explode")
