@@ -26,12 +26,23 @@ from repro.check import (
 from repro.errors import (
     CheckError,
     ConfigError,
+    CorruptResult,
     MetricsError,
     PlanError,
+    ResourceExhausted,
     SimulationError,
     SwiftSimError,
+    TaskFailure,
+    TaskTimeout,
     TraceError,
+    WorkerCrash,
     WorkloadError,
+)
+from repro.resilience import (
+    ChaosPlan,
+    RetryPolicy,
+    RunJournal,
+    Supervisor,
 )
 from repro.frontend import (
     ApplicationTrace,
@@ -72,9 +83,11 @@ __all__ = [
     "APPLICATIONS",
     "AccelSimLike",
     "ApplicationTrace",
+    "ChaosPlan",
     "CheckError",
     "CheckReport",
     "ConfigError",
+    "CorruptResult",
     "GPUConfig",
     "GPU_PRESETS",
     "EngineSanitizer",
@@ -85,15 +98,22 @@ __all__ = [
     "ModelingPlan",
     "PlanError",
     "PlanSimulator",
+    "ResourceExhausted",
+    "RetryPolicy",
+    "RunJournal",
     "SampledSimulator",
     "SWIFT_BASIC_PLAN",
     "SWIFT_MEMORY_PLAN",
     "SimulationError",
     "SimulationResult",
+    "Supervisor",
     "SwiftSimBasic",
     "SwiftSimError",
     "SwiftSimMemory",
+    "TaskFailure",
+    "TaskTimeout",
     "TraceError",
+    "WorkerCrash",
     "TraceInstruction",
     "WarpTrace",
     "WorkloadError",

@@ -3,7 +3,7 @@
 Swift-Sim's speedups are *exactness claims*: clock jumping and hybrid
 modules must agree with per-cycle, cycle-accurate execution wherever
 their plans coincide.  This package turns those claims into
-machine-checked invariants, in four pillars:
+machine-checked invariants, in five pillars:
 
 1. :class:`~repro.check.sanitizer.EngineSanitizer` — runtime checker
    hooks on the engine (monotonic ticks, stable same-cycle ordering, no
@@ -16,7 +16,11 @@ machine-checked invariants, in four pillars:
    invariants (exact agreement for plan-coincident cycle-accurate
    slots, bounded divergence for hybrid ones);
 4. :func:`~repro.check.determinism.determinism_check` — serial,
-   multiprocess-parallel, and repeated runs must be bit-identical.
+   multiprocess-parallel, and repeated runs must be bit-identical;
+5. :func:`~repro.check.resilience.resilience_check` — sweeps run under
+   seeded fault injection (:mod:`repro.resilience`) and sweeps resumed
+   from a :class:`~repro.resilience.journal.RunJournal` must converge
+   bit-identically to a clean run.
 
 ``repro check`` (see :mod:`repro.cli`) drives all of this from the
 command line and emits a machine-readable JSON report; see
@@ -30,6 +34,7 @@ from repro.check.differential import (
     differential_check,
 )
 from repro.check.report import CheckFinding, CheckReport
+from repro.check.resilience import resilience_check
 from repro.check.runner import MODES, run_checks, select_apps
 from repro.check.sanitizer import EngineSanitizer
 from repro.check.shadow import TICK_OBSERVER_COUNTERS, shadow_jump_check
@@ -44,6 +49,7 @@ __all__ = [
     "TICK_OBSERVER_COUNTERS",
     "determinism_check",
     "differential_check",
+    "resilience_check",
     "run_checks",
     "select_apps",
     "shadow_jump_check",

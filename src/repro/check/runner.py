@@ -17,11 +17,15 @@ from repro.tracegen.suites import APPLICATIONS, app_names, make_app
 from repro.check.determinism import determinism_check
 from repro.check.differential import DEFAULT_TOLERANCE, differential_check
 from repro.check.report import CheckReport, info
+from repro.check.resilience import resilience_check
 from repro.check.sanitizer import EngineSanitizer
 from repro.check.shadow import shadow_jump_check
 
 #: The verification modes ``repro check`` accepts.
-MODES = ("shadow-jump", "differential", "determinism", "sanitize", "all")
+MODES = (
+    "shadow-jump", "differential", "determinism", "sanitize",
+    "resilience", "all",
+)
 
 
 def select_apps(
@@ -139,4 +143,14 @@ def run_checks(
         report.extend(_run_sanitize(config, names, scale, classes))
         report.checks_run += len(names) * len(classes)
         step("sanitize")
+    if mode in ("resilience", "all"):
+        # Chaos convergence + journal resume on the hybrid simulators
+        # (the cycle-accurate baseline is covered by determinism and
+        # would dominate the wall time here).
+        report.extend(resilience_check(
+            config, names, scale=scale,
+            simulator_classes=classes[1:] or classes, workers=workers,
+        ))
+        report.checks_run += 2
+        step("resilience")
     return report

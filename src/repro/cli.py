@@ -12,10 +12,14 @@ Everything a downstream user needs without writing Python::
     python -m repro figure5  --apps bfs,gemm --workers 4
     python -m repro figure6  --apps bfs,gemm
     python -m repro check    --mode shadow-jump --suite rodinia
+    python -m repro eval     --apps bfs,gemm --journal sweep.journal
+    python -m repro eval     --resume sweep.journal
+    python -m repro chaos    --smoke
 
 All commands return a process exit code of 0 on success; configuration
 or workload errors print a one-line message and return 2.  ``check``
-additionally returns 1 when a verification invariant is violated.
+and ``chaos`` additionally return 1 when a verification invariant is
+violated.
 """
 
 from __future__ import annotations
@@ -134,6 +138,68 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the machine-readable report to this path")
     check.add_argument("--verbose", action="store_true",
                        help="also print info-level findings")
+
+    from repro.eval.harness import FAILURE_POLICIES
+
+    evaluate = commands.add_parser(
+        "eval",
+        help="run the suite evaluation harness (resumable, failure-tolerant)",
+    )
+    evaluate.add_argument("--apps", help="comma-separated application subset")
+    evaluate.add_argument("--gpu", default="rtx2080ti", help="GPU preset name")
+    evaluate.add_argument("--config", help="path to a GPU config JSON (instead of --gpu)")
+    evaluate.add_argument("--scale", default="tiny", help="workload scale")
+    evaluate.add_argument(
+        "--simulators", default="accel-like,swift-basic,swift-memory",
+        help="comma-separated simulator subset (see `repro simulate --help`)",
+    )
+    evaluate.add_argument(
+        "--failure-policy", default="degrade", choices=FAILURE_POLICIES,
+        help="what a failing (app, simulator) pair does to the suite",
+    )
+    evaluate.add_argument(
+        "--journal", help="checkpoint completed triples to this JSON-lines file",
+    )
+    evaluate.add_argument(
+        "--resume", metavar="JOURNAL",
+        help="resume an interrupted sweep from its journal "
+             "(implies --journal JOURNAL)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a sweep under seeded fault injection and assert it "
+             "converges to the clean run",
+    )
+    chaos.add_argument("--apps", help="comma-separated application subset")
+    chaos.add_argument("--suite", default=None, help="benchmark suite to cover")
+    chaos.add_argument("--gpu", default="rtx2080ti", help="GPU preset name")
+    chaos.add_argument("--config", help="path to a GPU config JSON (instead of --gpu)")
+    chaos.add_argument("--scale", default="tiny", help="workload scale")
+    chaos.add_argument(
+        "--simulator", default="swift-basic", choices=sorted(SIMULATORS),
+        help="which assembled simulator to stress",
+    )
+    chaos.add_argument("--seed", type=int, default=2025,
+                       help="chaos plan seed (injection points are "
+                            "deterministic in it)")
+    chaos.add_argument("--crash-rate", type=float, default=0.30)
+    chaos.add_argument("--hang-rate", type=float, default=0.10)
+    chaos.add_argument("--corrupt-rate", type=float, default=0.05)
+    chaos.add_argument("--hang-seconds", type=float, default=12.0,
+                       help="injected hang duration (above --timeout "
+                            "models a true hang)")
+    chaos.add_argument("--timeout", type=float, default=10.0,
+                       help="per-attempt wall-clock budget (seconds)")
+    chaos.add_argument("--max-attempts", type=int, default=10)
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="supervised worker processes (1 = in-process "
+                            "injection)")
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="fixed small CI configuration (bfs,gemm,sm at tiny scale, "
+             "seed 2025) regardless of other selection flags",
+    )
     return parser
 
 
@@ -298,6 +364,119 @@ def _cmd_check(args) -> None:
         raise _CheckFailed()
 
 
+def _cmd_eval(args) -> None:
+    from repro.eval.harness import EvaluationHarness
+    from repro.eval.report import render_suite
+    from repro.resilience.journal import RunJournal
+
+    gpu = _resolve_gpu(args)
+    journal = None
+    journal_path = args.resume or args.journal
+    if args.resume:
+        journal = RunJournal.load(args.resume)
+        print(f"resuming from {args.resume}: {len(journal)} completed "
+              f"triple(s) journaled")
+    elif args.journal:
+        journal = RunJournal.open(args.journal, gpu_name=gpu.name,
+                                  scale=args.scale)
+    sim_names = [name.strip() for name in args.simulators.split(",")
+                 if name.strip()]
+    unknown = [name for name in sim_names if name not in SIMULATORS]
+    if unknown:
+        raise SwiftSimError(
+            f"unknown simulator(s) {unknown}; known: {sorted(SIMULATORS)}"
+        )
+    simulators = {name: SIMULATORS[name](gpu) for name in sim_names}
+    harness = EvaluationHarness(gpu, scale=args.scale, apps=_apps_arg(args))
+    try:
+        suite = harness.evaluate(
+            simulators,
+            failure_policy=args.failure_policy,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    baseline = "accel-like" if "accel-like" in sim_names else None
+    print(render_suite(suite, baseline=baseline))
+    if journal_path:
+        print(f"journal: {journal_path} "
+              f"({len(journal)} completed triple(s))")
+
+
+def _cmd_chaos(args) -> None:
+    from repro.check.resilience import _identical
+    from repro.resilience.chaos import ChaosPlan
+    from repro.resilience.policy import RetryPolicy
+    from repro.simulators.parallel import (
+        simulate_apps_parallel,
+        simulate_apps_supervised,
+    )
+    from repro.tracegen.suites import make_app
+
+    if args.smoke:
+        app_list, scale, seed = ["bfs", "gemm", "sm"], "tiny", 2025
+    else:
+        from repro.check import select_apps
+
+        app_list = select_apps(_apps_arg(args), args.suite)
+        scale, seed = args.scale, args.seed
+    gpu = _resolve_gpu(args)
+    chaos = ChaosPlan(
+        seed=seed,
+        crash_rate=args.crash_rate,
+        hang_rate=args.hang_rate,
+        corrupt_rate=args.corrupt_rate,
+        hang_seconds=args.hang_seconds,
+    )
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay=0.01,
+        max_delay=0.5,
+        timeout_seconds=args.timeout,
+    )
+    apps = [make_app(name, scale=scale) for name in app_list]
+    simulator_cls = SIMULATORS[args.simulator]
+    print(f"chaos: {args.simulator} x {len(apps)} app(s) on {gpu.name}, "
+          f"scale {scale}, seed {seed} "
+          f"(crash {chaos.crash_rate:.0%}, hang {chaos.hang_rate:.0%}, "
+          f"corrupt {chaos.corrupt_rate:.0%}), {args.workers} worker(s)")
+    clean = simulate_apps_parallel(simulator_cls(gpu), apps, workers=1)
+    outcomes = simulate_apps_supervised(
+        simulator_cls(gpu), apps, workers=args.workers,
+        retry_policy=policy, chaos=chaos,
+    )
+    failed = 0
+    for app in apps:
+        outcome = outcomes[app.name]
+        faults = [record for record in outcome.attempts
+                  if record.outcome != "ok"]
+        detail = (
+            "clean first try" if not faults else
+            ", ".join(f"{record.outcome}@{record.index}" for record in faults)
+        )
+        if not outcome.ok:
+            print(f"  {app.name:12s} FAILED after {outcome.num_attempts} "
+                  f"attempt(s): {outcome.failure}")
+            failed += 1
+        elif not _identical(outcome.result, clean[app.name]):
+            print(f"  {app.name:12s} DIVERGED: {outcome.result.total_cycles} "
+                  f"vs clean {clean[app.name].total_cycles} cycles")
+            failed += 1
+        else:
+            print(f"  {app.name:12s} converged in {outcome.num_attempts} "
+                  f"attempt(s) ({detail}); bit-identical to clean run")
+    injected = sum(
+        1 for outcome in outcomes.values() for record in outcome.attempts
+        if record.outcome != "ok"
+    )
+    if failed:
+        print(f"FAIL: {failed}/{len(apps)} app(s) did not converge")
+        raise _CheckFailed()
+    print(f"PASS: survived {injected} injected fault(s); all "
+          f"{len(apps)} app(s) bit-identical to the clean run")
+
+
 class _CheckFailed(Exception):
     """Signals a completed check run that found violations (exit code 1)."""
 
@@ -315,6 +494,8 @@ _COMMANDS = {
     "figure5": _cmd_figure5,
     "figure6": _cmd_figure6,
     "check": _cmd_check,
+    "eval": _cmd_eval,
+    "chaos": _cmd_chaos,
 }
 
 

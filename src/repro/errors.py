@@ -39,3 +39,67 @@ class CheckError(SwiftSimError):
 
 class WorkloadError(SwiftSimError):
     """A synthetic workload specification is invalid."""
+
+
+class TaskFailure(SwiftSimError):
+    """A supervised task failed terminally (all retries exhausted).
+
+    Carries the context the supervisor knew at failure time so sweep
+    reports can say *which* app died, on *which* attempt, and why.
+    """
+
+    #: Short machine-readable failure kind ("crash", "timeout", ...).
+    kind = "failure"
+    #: Whether the supervisor may retry this failure class.
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task: str = "?",
+        attempt: int = 0,
+        context: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.task = task
+        self.attempt = attempt
+        self.context = context
+
+    def __str__(self) -> str:
+        detail = f" [{self.context}]" if self.context else ""
+        return (
+            f"task {self.task!r} attempt {self.attempt}: "
+            f"{super().__str__()}{detail}"
+        )
+
+
+class WorkerCrash(TaskFailure):
+    """A worker process died (non-zero exit, killed, or lost its pipe)
+    before delivering a result."""
+
+    kind = "crash"
+    retryable = True
+
+
+class TaskTimeout(TaskFailure):
+    """A task exceeded its wall-clock budget and its worker was reaped."""
+
+    kind = "timeout"
+    retryable = True
+
+
+class ResourceExhausted(TaskFailure):
+    """A worker ran out of a resource (memory, file descriptors) while
+    executing a task."""
+
+    kind = "exhausted"
+    retryable = True
+
+
+class CorruptResult(TaskFailure):
+    """A worker delivered a result that failed validation (e.g. injected
+    corruption, truncated payload)."""
+
+    kind = "corrupt"
+    retryable = True
