@@ -1,0 +1,82 @@
+"""Committed-baseline support: grandfathered findings.
+
+Adopting a linter on a grown codebase is all-or-nothing without a
+baseline: either you fix every finding in one PR or the gate stays off.
+A baseline file records the fingerprints of known findings; ``repro
+lint --baseline FILE`` suppresses exactly those, so the gate can be
+strict for *new* code immediately while the backlog is burned down.
+Fingerprints exclude line numbers (see
+:attr:`~repro.analyze.findings.LintFinding.fingerprint`), so unrelated
+edits do not resurrect grandfathered findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analyze.findings import LintFinding
+from repro.errors import AnalysisError
+
+_FORMAT = "repro-lint-baseline/v1"
+
+
+def write_baseline(path: Path, findings: Sequence[LintFinding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, stable diffs)."""
+    entries = sorted(
+        (
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "scope": f.scope,
+                "message": f.message,
+            }
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["scope"], e["fingerprint"]),
+    )
+    payload = {"format": _FORMAT, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> Dict[str, dict]:
+    """Read a baseline file into ``{fingerprint: entry}``."""
+    if not path.exists():
+        raise AnalysisError(f"baseline file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if payload.get("format") != _FORMAT:
+        raise AnalysisError(
+            f"baseline {path} has format {payload.get('format')!r}, "
+            f"expected {_FORMAT!r}"
+        )
+    return {entry["fingerprint"]: entry for entry in payload.get("findings", [])}
+
+
+def apply_baseline(
+    findings: Sequence[LintFinding], baseline: Dict[str, dict]
+) -> Tuple[List[LintFinding], List[LintFinding], List[dict]]:
+    """Split findings into (fresh, grandfathered) and report stale entries.
+
+    Stale entries — baseline fingerprints no finding matched — mean the
+    underlying issue was fixed; surfacing them keeps the baseline
+    shrinking instead of fossilizing.
+    """
+    fresh: List[LintFinding] = []
+    grandfathered: List[LintFinding] = []
+    matched = set()
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            matched.add(finding.fingerprint)
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    stale = [
+        entry for fingerprint, entry in baseline.items()
+        if fingerprint not in matched
+    ]
+    return fresh, grandfathered, stale

@@ -1,0 +1,64 @@
+"""Lint findings: what a static-analysis rule reports.
+
+A :class:`LintFinding` is the analyzer's unit of output, mirroring
+:class:`repro.check.report.CheckFinding` but carrying source position
+and a stable *fingerprint* so findings can be grandfathered into a
+committed baseline file without pinning line numbers (which drift on
+every unrelated edit).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict
+
+#: Finding severities, in increasing order of badness.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One violation reported by a static-analysis rule."""
+
+    rule: str      #: rule ID, e.g. "IF103"
+    severity: str  #: "warning" or "error"
+    path: str      #: repo-relative source path
+    line: int      #: 1-based line of the offending node
+    scope: str     #: enclosing qualname ("SMCore.tick", "<module>", ...)
+    message: str   #: human-readable detail
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line number: a grandfathered finding
+        stays grandfathered when unrelated edits shift the file, and
+        resurfaces when it moves to a different scope or its message
+        changes (i.e. when the code actually changed).
+        """
+        payload = "\x1f".join((self.rule, self.path, self.scope, self.message))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "scope": self.scope,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.rule} [{self.severity}] "
+            f"{self.scope}: {self.message}"
+        )

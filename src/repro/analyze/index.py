@@ -1,0 +1,374 @@
+"""Parsed-source index: files, the cross-file class hierarchy, and caching.
+
+The analyzer is whole-program: interface-conformance needs to know that
+``DetailedMemorySystem`` is (transitively) a :class:`repro.sim.module.Module`
+even though the two classes live in different files, and the wiring pass
+needs every instantiation site of every sink class.  :class:`ProgramIndex`
+builds that view once from a set of :class:`SourceFile`\\ s; rules then
+query it.
+
+Parsing dominates lint wall time on large trees, so the parsed-AST index
+can be persisted (:class:`AstCache`): entries are keyed by content hash
+and analyzer version, letting CI share one parse between the ``repro
+lint`` and ``repro check --mode static`` steps.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pickle
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AnalysisError
+
+#: Bump when parsing/extraction changes, to invalidate persisted caches.
+ANALYZER_VERSION = 1
+
+#: Framework root classes: subclassing one of these (by name, transitively
+#: through the index) makes a class part of the modeled-module hierarchy.
+MODULE_ROOTS = frozenset({"Module", "ClockedModule"})
+CLOCKED_ROOTS = frozenset({"ClockedModule"})
+SINK_ROOTS = frozenset({"InstructionSink", "CompletionListener", "BlockSource"})
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+_PAYLOAD_RE = re.compile(r"#\s*repro:\s*sweep-payload")
+
+
+@dataclass
+class ClassInfo:
+    """One class definition, with what rules need pre-extracted."""
+
+    name: str
+    qualname: str              #: "<module>.<Class>" (dotted module path)
+    path: str                  #: repo-relative source path
+    node: ast.ClassDef
+    base_names: List[str]      #: last-segment names of the bases as written
+    source: "SourceFile"
+    #: method name -> FunctionDef/AsyncFunctionDef defined in this body
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: names assigned at class level (class attributes)
+    class_attrs: Set[str] = field(default_factory=set)
+    #: names assigned as ``self.<name> = ...`` anywhere in the body
+    self_attrs: Set[str] = field(default_factory=set)
+    #: whether any method carries @abstractmethod
+    is_abstract: bool = False
+
+
+class SourceFile:
+    """One parsed Python source file plus its lint annotations."""
+
+    def __init__(self, path: Path, root: Path, text: str,
+                 tree: Optional[ast.Module] = None) -> None:
+        self.abspath = path
+        try:
+            self.path = str(path.relative_to(root))
+        except ValueError:
+            self.path = str(path)
+        self.text = text
+        try:
+            self.tree = tree if tree is not None else ast.parse(text, filename=self.path)
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {self.path}: {exc}") from exc
+        self.module_name = _module_name(path)
+        #: line -> None (suppress all rules) or frozenset of rule IDs
+        self.noqa: Dict[int, Optional[FrozenSet[str]]] = {}
+        #: lines carrying a ``# repro: sweep-payload`` marker
+        self.payload_lines: Set[int] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _NOQA_RE.search(line)
+            if match:
+                ids = match.group(1)
+                self.noqa[lineno] = (
+                    frozenset(i.strip() for i in ids.split(",") if i.strip())
+                    if ids else None
+                )
+            if _PAYLOAD_RE.search(line):
+                self.payload_lines.add(lineno)
+        #: local names bound to imported *modules* (``import os`` -> "os")
+        self.imported_modules: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imported_modules.add(
+                        alias.asname or alias.name.split(".")[0]
+                    )
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        """True when ``# repro: noqa`` on ``line`` covers ``rule_id``."""
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule_id in rules
+
+
+def _module_name(path: Path) -> str:
+    """Best-effort dotted module name from a file path."""
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("src", "site-packages"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1:]
+            break
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts[-4:]) if parts else str(path)
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    """Last-segment name of a base-class expression, if resolvable."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def called_name(func: ast.expr) -> Optional[str]:
+    """Name a :class:`ast.Call`'s callee resolves to, last segment."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _extract_class(info: ClassInfo) -> None:
+    """Populate methods/attrs/abstractness for one class body."""
+    for stmt in info.node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[stmt.name] = stmt
+            for decorator in stmt.decorator_list:
+                name = _base_name(decorator) or called_name(
+                    decorator.func if isinstance(decorator, ast.Call) else decorator
+                )
+                if name in ("abstractmethod", "abstractproperty"):
+                    info.is_abstract = True
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    info.class_attrs.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            info.class_attrs.add(stmt.target.id)
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    info.self_attrs.add(target.attr)
+
+
+class ProgramIndex:
+    """Whole-program view the rules run against."""
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        self.files = list(files)
+        #: bare class name -> definitions (collisions keep all)
+        self.classes: Dict[str, List[ClassInfo]] = {}
+        #: class names instantiated anywhere (Call to the bare name)
+        self.instantiated: Set[str] = set()
+        for source in self.files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = ClassInfo(
+                        name=node.name,
+                        qualname=f"{source.module_name}.{node.name}",
+                        path=source.path,
+                        node=node,
+                        base_names=[
+                            name for base in node.bases
+                            if (name := _base_name(base)) is not None
+                        ],
+                        source=source,
+                    )
+                    _extract_class(info)
+                    self.classes.setdefault(node.name, []).append(info)
+                elif isinstance(node, ast.Call):
+                    name = called_name(node.func)
+                    if name is not None:
+                        self.instantiated.add(name)
+
+    # ------------------------------------------------------------------
+    # hierarchy queries
+
+    def ancestry(self, info: ClassInfo) -> Iterator[ClassInfo]:
+        """All in-index ancestors of ``info``, depth-first, cycle-safe."""
+        seen: Set[Tuple[str, str]] = {(info.path, info.name)}
+        stack = list(info.base_names)
+        while stack:
+            base = stack.pop()
+            for candidate in self.classes.get(base, []):
+                key = (candidate.path, candidate.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield candidate
+                stack.extend(candidate.base_names)
+
+    def root_names(self, info: ClassInfo) -> Set[str]:
+        """Base names of ``info``'s full in-index ancestry, plus its own.
+
+        A name in here matching e.g. ``Module`` means the class derives
+        (possibly through files outside the analyzed set) from the
+        framework root of that name.
+        """
+        names = set(info.base_names)
+        for ancestor in self.ancestry(info):
+            names.update(ancestor.base_names)
+        return names
+
+    def subclasses_of(self, roots: FrozenSet[str]) -> List[ClassInfo]:
+        """Every class whose ancestry reaches a root name (excluding
+        classes *named* as a root, which are the framework itself)."""
+        found = []
+        for definitions in self.classes.values():
+            for info in definitions:
+                if info.name in roots:
+                    continue
+                if self.root_names(info) & roots:
+                    found.append(info)
+        return found
+
+    def module_classes(self) -> List[ClassInfo]:
+        return self.subclasses_of(MODULE_ROOTS)
+
+    def clocked_classes(self) -> List[ClassInfo]:
+        return self.subclasses_of(CLOCKED_ROOTS)
+
+    def sink_class_names(self) -> Set[str]:
+        """Names of classes usable as modules or ports-level sinks."""
+        names = {info.name for info in self.module_classes()}
+        names.update(info.name for info in self.subclasses_of(SINK_ROOTS))
+        return names
+
+    def has_subclasses(self, info: ClassInfo) -> bool:
+        for definitions in self.classes.values():
+            for other in definitions:
+                if other is not info and info.name in other.base_names:
+                    return True
+        return False
+
+    def declares(self, info: ClassInfo, attr: str) -> bool:
+        """Does ``info`` (or an ancestor below the framework roots)
+        declare ``attr`` as a class attribute or ``self.<attr>``?"""
+        chain = [info] + [
+            ancestor for ancestor in self.ancestry(info)
+            if ancestor.name not in MODULE_ROOTS
+        ]
+        return any(
+            attr in c.class_attrs or attr in c.self_attrs for c in chain
+        )
+
+    def defines_method(self, info: ClassInfo, method: str) -> bool:
+        """Does ``info`` or an in-index ancestor below the roots define
+        ``method`` concretely (not as an abstractmethod)?"""
+        chain = [info] + [
+            ancestor for ancestor in self.ancestry(info)
+            if ancestor.name not in MODULE_ROOTS
+        ]
+        for c in chain:
+            node = c.methods.get(method)
+            if node is None:
+                continue
+            decorated = {
+                _base_name(d) for d in node.decorator_list
+                if _base_name(d) is not None
+            }
+            if "abstractmethod" not in decorated:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# collection and caching
+
+
+def collect_paths(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            collected.append(path)
+        else:
+            raise AnalysisError(f"not a Python source or directory: {path}")
+    if not collected:
+        raise AnalysisError(f"no Python sources under {[str(p) for p in paths]}")
+    return collected
+
+
+class AstCache:
+    """Content-addressed parsed-AST store shared between lint steps.
+
+    Maps ``sha1(source)`` to the pickled :mod:`ast` tree.  Misses parse
+    and populate; :meth:`save` persists for the next invocation (the CI
+    lint job caches this file between the ``repro lint`` and ``repro
+    check --mode static`` steps).
+    """
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, bytes] = {}
+        if path is not None and path.exists():
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+                if payload.get("version") == ANALYZER_VERSION:
+                    self._entries = payload.get("entries", {})
+            except Exception:
+                self._entries = {}  # corrupt/stale cache: rebuild silently
+
+    def tree_for(self, text: str, filename: str) -> ast.Module:
+        key = hashlib.sha1(text.encode("utf-8")).hexdigest()
+        blob = self._entries.get(key)
+        if blob is not None:
+            try:
+                tree = pickle.loads(blob)
+                self.hits += 1
+                return tree
+            except Exception:
+                pass
+        tree = ast.parse(text, filename=filename)
+        self.misses += 1
+        self._entries[key] = pickle.dumps(tree)
+        return tree
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "wb") as handle:
+            pickle.dump(
+                {"version": ANALYZER_VERSION, "entries": self._entries}, handle
+            )
+
+
+def load_index(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    cache: Optional[AstCache] = None,
+) -> ProgramIndex:
+    """Parse ``paths`` (files or directories) into a :class:`ProgramIndex`."""
+    root = root if root is not None else Path.cwd()
+    sources = []
+    for path in collect_paths(paths):
+        text = path.read_text()
+        tree = None
+        if cache is not None:
+            try:
+                tree = cache.tree_for(text, str(path))
+            except SyntaxError as exc:
+                raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+        sources.append(SourceFile(path, root, text, tree=tree))
+    return ProgramIndex(sources)

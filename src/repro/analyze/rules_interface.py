@@ -1,0 +1,216 @@
+"""Interface-conformance rules (IF1xx).
+
+Swift-Sim's modularity claim (paper §III-B2) holds only while modules
+interact through the fixed contracts in :mod:`repro.sim.ports` and
+declare what they are: which component slot they fill and at which
+:class:`~repro.sim.module.ModelLevel`.  These rules make the contract
+checkable at commit time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analyze.findings import LintFinding
+from repro.analyze.index import ClassInfo, ProgramIndex, SourceFile
+from repro.analyze.registry import rule
+
+
+def _finding(rule_id: str, severity: str, source: SourceFile, node: ast.AST,
+             scope: str, message: str) -> LintFinding:
+    return LintFinding(
+        rule=rule_id, severity=severity, path=source.path,
+        line=getattr(node, "lineno", 1), scope=scope, message=message,
+    )
+
+
+def _concrete_modules(index: ProgramIndex) -> List[ClassInfo]:
+    """Module subclasses that are actually usable components (not
+    abstract intermediates or private helpers)."""
+    return [
+        info for info in index.module_classes()
+        if not info.is_abstract and not info.name.startswith("_")
+    ]
+
+
+@rule(
+    "IF101",
+    "module declares component slot and modeling level",
+    "error",
+    "Undeclared slots break plan introspection and the Metrics Gatherer's "
+    "component-collision detection: the module silently inherits the "
+    "'module' placeholder slot.",
+)
+def check_slot_declarations(index: ProgramIndex) -> Iterator[LintFinding]:
+    for info in _concrete_modules(index):
+        for attr in ("component", "level"):
+            if not index.declares(info, attr):
+                yield _finding(
+                    "IF101", "error", info.source, info.node, info.name,
+                    f"Module subclass {info.name!r} never declares {attr!r} "
+                    f"(class attribute or self.{attr} in __init__); every "
+                    f"component must state its slot and ModelLevel",
+                )
+
+
+@rule(
+    "IF102",
+    "clocked module implements the clocking hook",
+    "error",
+    "A ClockedModule without a concrete tick() dies at first schedule; "
+    "catching it statically beats catching it mid-sweep.",
+)
+def check_clocking_hook(index: ProgramIndex) -> Iterator[LintFinding]:
+    for info in index.clocked_classes():
+        if info.is_abstract or info.name.startswith("_"):
+            continue
+        if not index.defines_method(info, "tick"):
+            yield _finding(
+                "IF102", "error", info.source, info.node, info.name,
+                f"ClockedModule subclass {info.name!r} does not implement "
+                f"tick(cycle); the engine has nothing to drive",
+            )
+
+
+#: Method names on sinks/sources that constitute the public contract —
+#: listed here so the IF103 message can point offenders at them.
+PORT_CONTRACT = ("try_issue", "on_complete", "next_block", "block_done")
+
+
+class _PrivateReachVisitor(ast.NodeVisitor):
+    """Finds cross-object private-state access within one file."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.source = source
+        self.findings: List[LintFinding] = []
+        self._class_stack: List[ClassInfo] = []
+        self._scope_stack: List[str] = []
+        self._index: Optional[ProgramIndex] = None
+
+    def run(self, index: ProgramIndex) -> List[LintFinding]:
+        self._index = index
+        self._by_node = {
+            info.node: info
+            for infos in index.classes.values()
+            for info in infos
+            if info.source is self.source
+        }
+        self.visit(self.source.tree)
+        return self.findings
+
+    # -- scope tracking
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info = self._by_node.get(node)
+        self._class_stack.append(info)
+        self._scope_stack.append(node.name)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self._scope_stack.append(node.name)
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @property
+    def _scope(self) -> str:
+        return ".".join(self._scope_stack) or "<module>"
+
+    # -- the checks
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            name = alias.name
+            if name.startswith("_") and not name.startswith("__"):
+                self.findings.append(_finding(
+                    "IF103", "error", self.source, node, self._scope,
+                    f"imports private name {name!r} from "
+                    f"{node.module or '.'}; cross-module access must go "
+                    f"through public APIs",
+                ))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = node.attr
+        if attr.startswith("_") and not attr.startswith("__"):
+            receiver = node.value
+            if not self._allowed(receiver, attr):
+                self._report(node, receiver, attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # getattr/setattr/hasattr/delattr with a private string literal is
+        # the same reach-in with the attribute name spelled out.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("getattr", "setattr", "hasattr", "delattr")
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            attr = node.args[1].value
+            receiver = node.args[0]
+            if (
+                attr.startswith("_")
+                and not attr.startswith("__")
+                and not self._allowed(receiver, attr)
+            ):
+                self._report(node, receiver, attr)
+        self.generic_visit(node)
+
+    def _report(self, node: ast.AST, receiver: ast.expr, attr: str) -> None:
+        self.findings.append(_finding(
+            "IF103", "error", self.source, node, self._scope,
+            f"reaches into another object's private state "
+            f"({self._receiver_repr(receiver)}.{attr}); modules "
+            f"interact only through the ports contracts "
+            f"({', '.join(PORT_CONTRACT)}) and public attributes",
+        ))
+
+    def _allowed(self, receiver: ast.expr, attr: str) -> bool:
+        # Own state is fine.
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+            return True
+        # Stdlib/module internals (os._exit) are out of scope for the
+        # ports contract: the receiver is an imported module.
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in self.source.imported_modules
+        ):
+            return True
+        # Friend access inside the declaring class: methods like
+        # ``load(cls)`` or ``__eq__(self, other)`` touching a peer
+        # instance's private fields of the *same* class.
+        for info in self._class_stack:
+            if info is not None and (
+                attr in info.self_attrs or attr in info.class_attrs
+                or attr in info.methods
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _receiver_repr(receiver: ast.expr) -> str:
+        try:
+            return ast.unparse(receiver)
+        except Exception:  # pragma: no cover - unparse is best-effort
+            return "<expr>"
+
+
+@rule(
+    "IF103",
+    "no private-state reach-in across module boundaries",
+    "error",
+    "Touching another object's underscore state bypasses the abstracted "
+    "interfaces that make cycle-accurate and analytical implementations "
+    "interchangeable; it also invalidates jump-exactness reasoning, which "
+    "is local to each module's declared contract.",
+)
+def check_private_reach(index: ProgramIndex) -> Iterator[LintFinding]:
+    for source in index.files:
+        yield from _PrivateReachVisitor(source).run(index)

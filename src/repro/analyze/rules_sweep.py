@@ -1,0 +1,181 @@
+"""Sweep-safety rules (SW4xx).
+
+Everything :mod:`repro.resilience` ships to a worker process — the
+simulator class, its :class:`~repro.frontend.config.GPUConfig` and
+:class:`~repro.sim.plan.ModelingPlan`, the application traces, and the
+results coming back — must pickle.  PR 2 added a *runtime* pre-flight
+(:func:`repro.simulators.parallel.validate_picklable`); these rules are
+its static complement, catching unpicklable fields when they are
+introduced rather than when a sweep launches.
+
+Payload classes are identified two ways: by module (the known
+sweep-payload modules listed in :data:`PAYLOAD_MODULES`) and by an
+explicit ``# repro: sweep-payload`` marker comment on the class-def
+line, for payloads defined elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analyze.findings import LintFinding
+from repro.analyze.index import ClassInfo, ProgramIndex, called_name
+from repro.analyze.registry import rule
+
+#: Modules whose classes are shipped to resilience workers wholesale.
+PAYLOAD_MODULES = frozenset({
+    "repro.frontend.config",
+    "repro.frontend.trace",
+    "repro.sim.plan",
+    "repro.simulators.results",
+})
+
+#: Constructors whose instances never survive pickling.
+_UNPICKLABLE_FACTORIES = frozenset({
+    "open", "Lock", "RLock", "Event", "Condition", "Semaphore",
+    "BoundedSemaphore", "Barrier", "socket", "Popen",
+})
+
+
+def _payload_classes(index: ProgramIndex) -> Iterator[ClassInfo]:
+    for definitions in index.classes.values():
+        for info in definitions:
+            if info.source.module_name in PAYLOAD_MODULES:
+                yield info
+            elif any(
+                line in info.source.payload_lines
+                for line in range(info.node.lineno - 1, info.node.lineno + 2)
+            ):
+                yield info
+
+
+def _unpicklable_reason(value: ast.expr) -> Optional[str]:
+    if isinstance(value, ast.Lambda):
+        return "a lambda (pickle cannot serialize it under spawn)"
+    if isinstance(value, ast.GeneratorExp):
+        return "a generator (generators cannot be pickled at all)"
+    if isinstance(value, ast.Call):
+        name = called_name(value.func)
+        if name in _UNPICKLABLE_FACTORIES:
+            return f"a live {name}() handle (process-local resource)"
+    return None
+
+
+@rule(
+    "SW401",
+    "no unpicklable fields on sweep-payload classes",
+    "error",
+    "A lambda, generator, or live handle stored on a config/trace/plan/"
+    "result object kills every multi-worker sweep at launch; the runtime "
+    "validate_picklable pre-flight catches it late, this rule catches it "
+    "at commit time.",
+)
+def check_payload_fields(index: ProgramIndex) -> Iterator[LintFinding]:
+    for info in _payload_classes(index):
+        # Class attributes and dataclass field defaults.
+        for stmt in info.node.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is None:
+                continue
+            reason = _unpicklable_reason(value)
+            if reason is None and isinstance(value, ast.Call):
+                # field(default=lambda ...) — default_factory is fine
+                # (it runs per instance), a default lambda is stored.
+                if called_name(value.func) == "field":
+                    for keyword in value.keywords:
+                        if keyword.arg == "default":
+                            reason = _unpicklable_reason(keyword.value)
+            if reason is not None:
+                yield LintFinding(
+                    rule="SW401", severity="error", path=info.path,
+                    line=stmt.lineno, scope=info.name,
+                    message=(
+                        f"sweep-payload class {info.name!r} stores {reason} "
+                        f"as a class-level default; it cannot be shipped to "
+                        f"resilience workers"
+                    ),
+                )
+        # Instance fields assigned in methods.
+        for method_name, method in info.methods.items():
+            local_defs: Set[str] = {
+                node.name for node in ast.walk(method)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not method
+            }
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                stores_self_attr = any(
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    for target in node.targets
+                )
+                if not stores_self_attr:
+                    continue
+                reason = _unpicklable_reason(node.value)
+                if reason is None and (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in local_defs
+                ):
+                    reason = (
+                        f"the locally defined function "
+                        f"{node.value.id!r} (closures cannot be pickled)"
+                    )
+                if reason is not None:
+                    yield LintFinding(
+                        rule="SW401", severity="error", path=info.path,
+                        line=node.lineno, scope=f"{info.name}.{method_name}",
+                        message=(
+                            f"sweep-payload class {info.name!r} stores "
+                            f"{reason} on self; it cannot be shipped to "
+                            f"resilience workers"
+                        ),
+                    )
+
+
+@rule(
+    "SW402",
+    "no unpicklable values handed to supervised tasks",
+    "error",
+    "Task(fn=..., args=(...)) crosses a process boundary; a lambda fn or a "
+    "generator/handle in args dies in the pickler with an opaque error "
+    "inside the supervisor instead of at the call site.",
+)
+def check_task_payloads(index: ProgramIndex) -> Iterator[LintFinding]:
+    for source in index.files:
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and called_name(node.func) == "Task"
+            ):
+                continue
+            suspects: List[ast.expr] = []
+            # fn: second positional or fn= keyword.
+            if len(node.args) >= 2:
+                suspects.append(node.args[1])
+            for keyword in node.keywords:
+                if keyword.arg == "fn":
+                    suspects.append(keyword.value)
+                elif keyword.arg == "args" and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)
+                ):
+                    suspects.extend(keyword.value.elts)
+            if len(node.args) >= 3 and isinstance(node.args[2], (ast.Tuple, ast.List)):
+                suspects.extend(node.args[2].elts)
+            for suspect in suspects:
+                reason = _unpicklable_reason(suspect)
+                if reason is not None:
+                    yield LintFinding(
+                        rule="SW402", severity="error", path=source.path,
+                        line=suspect.lineno, scope=source.module_name,
+                        message=(
+                            f"supervised Task carries {reason}; everything "
+                            f"a worker receives must pickle"
+                        ),
+                    )

@@ -1,0 +1,329 @@
+"""Static wiring, metrics, and race-surface rules (WR3xx).
+
+A whole-program pass over simulator assembly: the functions that build
+module trees and register them with the engine (``PlanSimulator``'s
+factories, the ``accel_like``/``swift_basic``/``swift_memory`` plans,
+and any user assembly code).  Mis-wirings here — a sink built but never
+connected, a module driven twice, two modules sharing a report name —
+are exactly what :class:`~repro.sim.metrics.MetricsGatherer` and the
+engine can only complain about *after* a sweep has burned cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analyze.findings import LintFinding
+from repro.analyze.index import ProgramIndex, SourceFile, called_name
+from repro.analyze.registry import rule
+
+#: Methods that "drive" a module: registering it with an engine or
+#: attaching it to a module tree.
+_DRIVE_METHODS = frozenset({"add", "add_child"})
+
+#: Container mutators that count as writes for the race-surface rule.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "update", "remove",
+    "discard", "pop", "popleft", "popitem", "clear", "setdefault",
+})
+
+#: Constructors whose result is a mutable container.
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter",
+})
+
+
+def _functions(source: SourceFile) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Every function/method in a file with its dotted scope name."""
+
+    def walk(body, prefix: str) -> Iterator[Tuple[str, ast.FunctionDef]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = f"{prefix}{node.name}"
+                yield scope, node
+                yield from walk(node.body, f"{scope}.")
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body, f"{prefix}{node.name}.")
+
+    yield from walk(source.tree.body, "")
+
+
+def _direct_statements(fn: ast.FunctionDef) -> Iterator[ast.stmt]:
+    """Statements of ``fn`` excluding nested function/class bodies."""
+    stack: List[ast.stmt] = list(fn.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    stack.append(child)
+                else:
+                    stack.extend(
+                        grand for grand in ast.walk(child)
+                        if isinstance(grand, ast.stmt)
+                    )
+
+
+@rule(
+    "WR301",
+    "no dangling sinks in assembly code",
+    "warning",
+    "A module/sink instantiated and never wired (not passed on, attached, "
+    "or returned) silently drops the traffic meant for it; the simulation "
+    "runs but models a different machine.",
+)
+def check_dangling_sinks(index: ProgramIndex) -> Iterator[LintFinding]:
+    sink_names = index.sink_class_names()
+    for source in index.files:
+        for scope, fn in _functions(source):
+            assigned: Dict[str, ast.Assign] = {}
+            loaded: Set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    if (
+                        len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and isinstance(node.value, ast.Call)
+                        and called_name(node.value.func) in sink_names
+                    ):
+                        assigned.setdefault(node.targets[0].id, node)
+                elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    loaded.add(node.id)
+            for name, node in assigned.items():
+                if name not in loaded:
+                    cls = called_name(node.value.func)
+                    yield LintFinding(
+                        rule="WR301", severity="warning", path=source.path,
+                        line=node.lineno, scope=scope,
+                        message=(
+                            f"{cls} instance bound to {name!r} is never "
+                            f"used: not attached, driven, or returned — a "
+                            f"dangling sink"
+                        ),
+                    )
+
+
+@rule(
+    "WR302",
+    "no double-driven sinks",
+    "error",
+    "Registering the same module twice (engine.add / add_child) either "
+    "raises at runtime or double-counts its counters in the Metrics "
+    "Gatherer's per-name aggregation; both surface long after assembly.",
+)
+def check_double_driven(index: ProgramIndex) -> Iterator[LintFinding]:
+    for source in index.files:
+        for scope, fn in _functions(source):
+            driven: Dict[str, List[ast.Call]] = {}
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _DRIVE_METHODS
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                ):
+                    if node.func.attr == "add":
+                        receiver = node.func.value
+                        receiver_name = (
+                            receiver.id if isinstance(receiver, ast.Name)
+                            else receiver.attr if isinstance(receiver, ast.Attribute)
+                            else ""
+                        )
+                        if "engine" not in receiver_name.lower():
+                            continue
+                    driven.setdefault(node.args[0].id, []).append(node)
+            for name, calls in driven.items():
+                if len(calls) > 1:
+                    first = calls[0].lineno
+                    for call in calls[1:]:
+                        yield LintFinding(
+                            rule="WR302", severity="error", path=source.path,
+                            line=call.lineno, scope=scope,
+                            message=(
+                                f"sink {name!r} is driven more than once "
+                                f"(also at line {first}); a module "
+                                f"registers with exactly one engine/parent"
+                            ),
+                        )
+
+
+@rule(
+    "WR303",
+    "no duplicate literal module names in one assembly scope",
+    "warning",
+    "Two modules sharing a name merge into one MetricsReport row; this is "
+    "the compile-time twin of MetricsGatherer's DuplicateModuleNameWarning.",
+)
+def check_duplicate_names(index: ProgramIndex) -> Iterator[LintFinding]:
+    module_names = {info.name for info in index.module_classes()}
+    module_names.add("Module")
+    for source in index.files:
+        for scope, fn in _functions(source):
+            seen: Dict[str, int] = {}
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Call)
+                    and called_name(node.func) in module_names
+                ):
+                    continue
+                literal: Optional[str] = None
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "name"
+                        and isinstance(keyword.value, ast.Constant)
+                        and isinstance(keyword.value.value, str)
+                    ):
+                        literal = keyword.value.value
+                if literal is None:
+                    continue
+                if literal in seen:
+                    yield LintFinding(
+                        rule="WR303", severity="warning", path=source.path,
+                        line=node.lineno, scope=scope,
+                        message=(
+                            f"second module named {literal!r} in this scope "
+                            f"(first at line {seen[literal]}); their "
+                            f"counters would merge into one report row"
+                        ),
+                    )
+                else:
+                    seen[literal] = node.lineno
+
+
+def _module_globals(source: SourceFile) -> Dict[str, int]:
+    """Top-level names bound to mutable containers, with their lines."""
+    found: Dict[str, int] = {}
+    for stmt in source.tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                    ast.SetComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and called_name(value.func) in _MUTABLE_FACTORIES
+        )
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                found[target.id] = stmt.lineno
+    return found
+
+
+def _mutation_sites(tree: ast.AST, names: Set[str]) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (name, node) for every mutation of ``names`` under ``tree``."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in names
+        ):
+            yield node.func.value.id, node
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield target.value.id, node
+        elif isinstance(node, ast.Global):
+            for name in node.names:
+                if name in names:
+                    yield name, node
+
+
+@rule(
+    "WR304",
+    "no module-global state written from the clocked phase",
+    "warning",
+    "A module-level container mutated inside a Module's clocked methods is "
+    "state the engine does not own: it survives across kernels and "
+    "simulations in-process, differs across worker processes, and races "
+    "with any writer outside the clocked phase — the exact hazard the "
+    "cross-process determinism checks exist to catch at runtime.",
+)
+def check_clocked_global_writes(index: ProgramIndex) -> Iterator[LintFinding]:
+    module_class_names = {info.name for info in index.module_classes()}
+    for source in index.files:
+        globals_here = _module_globals(source)
+        if not globals_here:
+            continue
+        names = set(globals_here)
+        clocked: Dict[str, List[Tuple[str, ast.AST]]] = {}
+        outside: Set[str] = set()
+        # Partition mutation sites by whether they sit inside a
+        # Module-subclass method (the clocked phase) or anywhere else.
+        clocked_nodes: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name in module_class_names:
+                for name, site in _mutation_sites(node, names):
+                    clocked.setdefault(name, []).append((node.name, site))
+                    clocked_nodes.add(id(site))
+        for name, site in _mutation_sites(source.tree, names):
+            if id(site) not in clocked_nodes:
+                outside.add(name)
+        for name, sites in clocked.items():
+            declared = globals_here[name]
+            for class_name, site in sites:
+                also = (
+                    "; it is also written outside the clocked phase"
+                    if name in outside else ""
+                )
+                yield LintFinding(
+                    rule="WR304", severity="warning", path=source.path,
+                    line=getattr(site, "lineno", declared), scope=class_name,
+                    message=(
+                        f"module-level container {name!r} (defined line "
+                        f"{declared}) is mutated inside a Module's clocked "
+                        f"phase{also}; move the state onto the module or "
+                        f"pass it through the engine"
+                    ),
+                )
+
+
+@rule(
+    "WR305",
+    "no mutable class attributes on Module subclasses",
+    "warning",
+    "A list/dict/set class attribute is shared by every instance of the "
+    "module across all SMs, kernels, and simulations in-process — counters "
+    "bleed between runs and between shadow-clocking legs.",
+)
+def check_mutable_class_attrs(index: ProgramIndex) -> Iterator[LintFinding]:
+    for info in index.module_classes():
+        for stmt in info.node.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is None:
+                continue
+            mutable = isinstance(value, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(value, ast.Call)
+                and called_name(value.func) in _MUTABLE_FACTORIES
+            )
+            if mutable:
+                yield LintFinding(
+                    rule="WR305", severity="warning", path=info.path,
+                    line=stmt.lineno, scope=info.name,
+                    message=(
+                        f"mutable class attribute on Module subclass "
+                        f"{info.name!r}: shared across every instance; "
+                        f"initialize it in __init__"
+                    ),
+                )

@@ -3,7 +3,7 @@
 Swift-Sim's speedups are *exactness claims*: clock jumping and hybrid
 modules must agree with per-cycle, cycle-accurate execution wherever
 their plans coincide.  This package turns those claims into
-machine-checked invariants, in five pillars:
+machine-checked invariants, in six pillars:
 
 1. :class:`~repro.check.sanitizer.EngineSanitizer` — runtime checker
    hooks on the engine (monotonic ticks, stable same-cycle ordering, no
@@ -20,7 +20,11 @@ machine-checked invariants, in five pillars:
 5. :func:`~repro.check.resilience.resilience_check` — sweeps run under
    seeded fault injection (:mod:`repro.resilience`) and sweeps resumed
    from a :class:`~repro.resilience.journal.RunJournal` must converge
-   bit-identically to a clean run.
+   bit-identically to a clean run;
+6. :func:`~repro.check.static.static_check` — the :mod:`repro.analyze`
+   framework-contract linter run as a pillar: the package's own source
+   must pass the interface/determinism/wiring/sweep-safety rules (see
+   ``docs/static-analysis.md``).
 
 ``repro check`` (see :mod:`repro.cli`) drives all of this from the
 command line and emits a machine-readable JSON report; see
@@ -38,6 +42,7 @@ from repro.check.resilience import resilience_check
 from repro.check.runner import MODES, run_checks, select_apps
 from repro.check.sanitizer import EngineSanitizer
 from repro.check.shadow import TICK_OBSERVER_COUNTERS, shadow_jump_check
+from repro.check.static import static_check
 
 __all__ = [
     "CheckFinding",
@@ -53,4 +58,5 @@ __all__ = [
     "run_checks",
     "select_apps",
     "shadow_jump_check",
+    "static_check",
 ]

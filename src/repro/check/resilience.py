@@ -46,7 +46,7 @@ CHAOS_POLICY = RetryPolicy(max_attempts=10, base_delay=0.001,
                            jitter=0.1, timeout_seconds=30.0)
 
 
-def _identical(lhs: SimulationResult, rhs: SimulationResult) -> bool:
+def results_identical(lhs: SimulationResult, rhs: SimulationResult) -> bool:
     return (
         lhs.total_cycles == rhs.total_cycles
         and [(k.name, k.start_cycle, k.end_cycle, k.instructions)
@@ -85,7 +85,7 @@ def _check_chaos_convergence(
                 f"chaos run did not converge after "
                 f"{outcome.num_attempts} attempt(s): {outcome.failure}",
             ))
-        elif not _identical(outcome.result, clean[app.name]):
+        elif not results_identical(outcome.result, clean[app.name]):
             findings.append(violation(
                 _CHECK, subject,
                 f"chaos run diverged from clean run: "
@@ -137,7 +137,7 @@ def _check_journal_resume(
                 simulator_cls(config), apps, workers=1, journal=journal,
             )
         for app in apps:
-            if not _identical(resumed[app.name], clean[app.name]):
+            if not results_identical(resumed[app.name], clean[app.name]):
                 findings.append(violation(
                     _CHECK, f"{simulator_name} x {app.name}",
                     f"resumed sweep diverged from clean run: "

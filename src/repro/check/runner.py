@@ -20,11 +20,12 @@ from repro.check.report import CheckReport, info
 from repro.check.resilience import resilience_check
 from repro.check.sanitizer import EngineSanitizer
 from repro.check.shadow import shadow_jump_check
+from repro.check.static import static_check
 
 #: The verification modes ``repro check`` accepts.
 MODES = (
     "shadow-jump", "differential", "determinism", "sanitize",
-    "resilience", "all",
+    "resilience", "static", "all",
 )
 
 
@@ -153,4 +154,8 @@ def run_checks(
         ))
         report.checks_run += 2
         step("resilience")
+    if mode in ("static", "all"):
+        report.extend(static_check())
+        report.checks_run += 1
+        step("static")
     return report

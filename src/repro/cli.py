@@ -15,11 +15,13 @@ Everything a downstream user needs without writing Python::
     python -m repro eval     --apps bfs,gemm --journal sweep.journal
     python -m repro eval     --resume sweep.journal
     python -m repro chaos    --smoke
+    python -m repro lint     src --fail-on error
 
 All commands return a process exit code of 0 on success; configuration
-or workload errors print a one-line message and return 2.  ``check``
-and ``chaos`` additionally return 1 when a verification invariant is
-violated.
+or workload errors print a one-line message and return 2.  ``check``,
+``chaos``, and ``lint`` additionally return 1 when a verification
+invariant is violated (for ``lint``: a fresh finding at or above the
+``--fail-on`` severity).
 """
 
 from __future__ import annotations
@@ -200,6 +202,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fixed small CI configuration (bfs,gemm,sm at tiny scale, "
              "seed 2025) regardless of other selection flags",
     )
+
+    from repro.analyze import FAIL_ON
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the framework-contract static analyzer over source trees",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rules",
+        help="comma-separated rule IDs or family prefixes "
+             "(e.g. IF103,DT or SW); default: all rules",
+    )
+    lint.add_argument(
+        "--baseline", help="grandfather findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="write the current findings to PATH as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--fail-on", default="error", choices=FAIL_ON,
+        help="exit 1 on fresh findings at or above this severity",
+    )
+    lint.add_argument(
+        "--cache", metavar="PATH",
+        help="persist the parsed-AST index here (shared between CI steps)",
+    )
+    lint.add_argument("--json", dest="json_out",
+                      help="write the machine-readable report to this path")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -405,7 +442,7 @@ def _cmd_eval(args) -> None:
 
 
 def _cmd_chaos(args) -> None:
-    from repro.check.resilience import _identical
+    from repro.check.resilience import results_identical
     from repro.resilience.chaos import ChaosPlan
     from repro.resilience.policy import RetryPolicy
     from repro.simulators.parallel import (
@@ -459,7 +496,7 @@ def _cmd_chaos(args) -> None:
             print(f"  {app.name:12s} FAILED after {outcome.num_attempts} "
                   f"attempt(s): {outcome.failure}")
             failed += 1
-        elif not _identical(outcome.result, clean[app.name]):
+        elif not results_identical(outcome.result, clean[app.name]):
             print(f"  {app.name:12s} DIVERGED: {outcome.result.total_cycles} "
                   f"vs clean {clean[app.name].total_cycles} cycles")
             failed += 1
@@ -475,6 +512,48 @@ def _cmd_chaos(args) -> None:
         raise _CheckFailed()
     print(f"PASS: survived {injected} injected fault(s); all "
           f"{len(apps)} app(s) bit-identical to the clean run")
+
+
+def _cmd_lint(args) -> None:
+    from pathlib import Path
+
+    from repro.analyze import (
+        FAMILIES,
+        AstCache,
+        all_rules,
+        lint_paths,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule_obj in all_rules():
+            family = FAMILIES[rule_obj.id[:2]]
+            print(f"{rule_obj.id} [{rule_obj.severity:7s}] ({family}) "
+                  f"{rule_obj.title}")
+        return
+    rules = None
+    if args.rules:
+        rules = [item.strip() for item in args.rules.split(",") if item.strip()]
+    cache = AstCache(Path(args.cache)) if args.cache else None
+    report = lint_paths(
+        [Path(p) for p in args.paths],
+        rules=rules,
+        baseline=Path(args.baseline) if args.baseline else None,
+        fail_on=args.fail_on,
+        cache=cache,
+    )
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), report.findings)
+        print(f"wrote baseline with {len(report.findings)} finding(s) "
+              f"to {args.write_baseline}")
+        return
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote JSON report to {args.json_out}")
+    if not report.ok:
+        raise _CheckFailed()
 
 
 class _CheckFailed(Exception):
@@ -496,6 +575,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "eval": _cmd_eval,
     "chaos": _cmd_chaos,
+    "lint": _cmd_lint,
 }
 
 

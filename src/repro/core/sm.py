@@ -16,7 +16,7 @@ from repro.errors import SimulationError
 from repro.frontend.config import GPUConfig
 from repro.frontend.trace import BlockTrace
 from repro.sim.engine import ClockedModule, Engine
-from repro.sim.module import ModelLevel
+from repro.sim.module import ModelLevel, Module
 from repro.sim.ports import BlockSource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -46,6 +46,10 @@ class SMCore(ClockedModule):
         # exactly like GPGPU-Sim's cluster loop; hybrid plans let empty
         # SMs leave the schedule.
         self.idle_tick = idle_tick
+        #: One shared-memory unit serves every sub-core of this SM; the
+        #: simulator factory populates this while building the first
+        #: sub-core and reuses it for the rest.
+        self.shared_unit: Optional[Module] = None
         self.subcores: List["SubCore"] = [
             self.add_child(subcore_factory(self, sub))
             for sub in range(config.sm.sub_cores)

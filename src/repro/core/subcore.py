@@ -75,7 +75,6 @@ class SubCore(Module, CompletionListener):
         self.frontend = FrontEnd(sm_config) if use_frontend else None
         self.collector = OperandCollector(sm_config) if use_collector else None
         self.warps: List[WarpState] = []
-        seen = set()
         for module in (
             *self.exec_units.values(),
             self.ldst_unit,
@@ -85,9 +84,7 @@ class SubCore(Module, CompletionListener):
         ):
             # Shared-per-SM sinks appear in several sub-cores: attach each
             # module to the tree exactly once (the first sub-core wins).
-            if isinstance(module, Module) and id(module) not in seen and not getattr(module, "_owned", False):
-                seen.add(id(module))
-                module._owned = True
+            if isinstance(module, Module) and module.claim():
                 self.add_child(module)
 
     def reset(self) -> None:

@@ -37,6 +37,17 @@ class CheckError(SwiftSimError):
     running in strict mode."""
 
 
+class AnalysisError(SwiftSimError):
+    """The :mod:`repro.analyze` static analyzer was misused (unknown
+    rule, unparsable source, corrupt baseline) — distinct from findings,
+    which are reported, not raised."""
+
+
+class CounterKindError(MetricsError):
+    """A counter name was used with both sum semantics (``add``) and
+    max semantics (``peak``); the mixed value would be meaningless."""
+
+
 class WorkloadError(SwiftSimError):
     """A synthetic workload specification is invalid."""
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 from enum import Enum, unique
 from typing import Dict, Iterator, List, Optional
 
+from repro.errors import CounterKindError
+
 
 @unique
 class ModelLevel(Enum):
@@ -31,17 +33,31 @@ class Counters:
     counter within modules to collect the desired metrics").
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_kinds")
 
     def __init__(self) -> None:
         self._values: Dict[str, int] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        prior = self._kinds.get(name)
+        if prior is None:
+            self._kinds[name] = kind
+        elif prior != kind:
+            raise CounterKindError(
+                f"counter {name!r} already used with {prior}() semantics; "
+                f"mixing {prior}() and {kind}() on one name would produce a "
+                f"meaningless value — use two counter names"
+            )
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (created at zero)."""
+        self._check_kind(name, "add")
         self._values[name] = self._values.get(name, 0) + amount
 
     def peak(self, name: str, value: int) -> None:
         """Track the maximum of ``value`` seen under ``name``."""
+        self._check_kind(name, "peak")
         current = self._values.get(name)
         if current is None or value > current:
             self._values[name] = value
@@ -55,6 +71,7 @@ class Counters:
 
     def reset(self) -> None:
         self._values.clear()
+        self._kinds.clear()
 
     def __contains__(self, name: str) -> bool:
         return name in self._values
@@ -83,11 +100,25 @@ class Module:
         self.name = name if name is not None else type(self).__name__
         self.counters = Counters()
         self._children: List["Module"] = []
+        self._claimed = False
 
     def add_child(self, child: "Module") -> "Module":
         """Attach a sub-module and return it (for chaining at build time)."""
         self._children.append(child)
         return child
+
+    def claim(self) -> bool:
+        """Claim this module for a single parent in the module tree.
+
+        Modules shared between several owners (e.g. one shared-memory
+        unit serving every sub-core of an SM) must appear in the metrics
+        tree exactly once.  The first caller gets ``True`` and should
+        :meth:`add_child` the module; later callers get ``False``.
+        """
+        if self._claimed:
+            return False
+        self._claimed = True
+        return True
 
     @property
     def children(self) -> List["Module"]:

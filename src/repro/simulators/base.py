@@ -117,10 +117,10 @@ class PlanSimulator(GPUSimulator):
                     return QueuedLDSTUnit(sm.sm_id, sm_config, memory)
                 return AnalyticalLDSTUnit(sm.sm_id, sm_config, memory)
 
-            shared_unit = getattr(sm, "_shared_unit", None)
+            shared_unit = sm.shared_unit
             if shared_unit is None:
                 shared_unit = SharedMemoryUnit(sm_config, analytical=shared_analytical)
-                sm._shared_unit = shared_unit
+                sm.shared_unit = shared_unit
 
             return SubCore(
                 sm,

@@ -1,0 +1,38 @@
+"""Seeded interface-conformance violations (IF1xx)."""
+
+from repro.sim.engine import ClockedModule
+from repro.sim.module import Module
+
+
+class HalfDeclared(Module):
+    """IF101 twice: declares neither component nor level."""
+
+    def __init__(self):
+        super().__init__("half")
+
+
+class Silent(ClockedModule):
+    """IF102: a clocked module with nothing to drive."""
+
+    component = "silent"
+
+    def __init__(self):
+        super().__init__("silent")
+        self.level = None
+
+
+class Snoop(Module):
+    """IF103: reads a peer's private queue instead of using try_issue."""
+
+    component = "snoop"
+
+    def __init__(self, peer):
+        super().__init__("snoop")
+        self.level = None
+        self.peer = peer
+
+    def steal(self):
+        return self.peer._queue.pop()
+
+    def probe(self):
+        return getattr(self.peer, "_queue", None)

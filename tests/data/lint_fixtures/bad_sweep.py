@@ -1,0 +1,17 @@
+"""Seeded sweep-safety violations (SW4xx)."""
+
+from repro.resilience.supervisor import Task
+
+
+# repro: sweep-payload
+class LeakyConfig:
+    """Ships to workers but holds process-local state."""
+
+    transform = lambda value: value  # SW401 via lambda
+
+    def __init__(self, path):
+        self.handle = open(path)  # SW401: live handle on self
+
+
+def enqueue(run):
+    return Task("sweep", lambda: run(), validate=None)  # SW402

@@ -1,0 +1,35 @@
+"""Seeded wiring and race-surface violations (WR3xx)."""
+
+from repro.sim.module import Module
+from repro.sim.ports import InstructionSink
+
+ISSUE_LOG = []
+
+
+class FixtureSink(InstructionSink):
+    def try_issue(self, instruction, cycle):
+        return None
+
+
+class Hub(Module):
+    component = "hub"
+
+    shared_scratch = {}  # WR305
+
+    def __init__(self):
+        super().__init__("hub")
+        self.level = None
+
+    def record(self, value):
+        ISSUE_LOG.append(value)  # WR304
+
+
+def assemble(engine, left: Module, right: Module):
+    forgotten = FixtureSink()  # WR301: constructed, never wired
+    sink = FixtureSink()
+    left.add_child(sink)
+    right.add_child(sink)  # WR302: second driver for the same sink
+    a = Hub()
+    b = Module(name="dup")  # WR303 pair...
+    c = Module(name="dup")  # ...same literal name, same scope
+    return a, b, c

@@ -1,0 +1,7 @@
+"""A violation with an explicit waiver: noqa must silence it."""
+
+import random
+
+
+def roll():
+    return random.random()  # repro: noqa[DT202]
