@@ -5,7 +5,8 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — workload scale (default ``small``; ``tiny`` for
   a fast smoke pass, ``medium`` for longer validation).
 * ``REPRO_BENCH_APPS`` — comma-separated application subset (default: the
-  full Figure 4 list).
+  full Figure 4 list).  Unknown names raise a
+  :class:`~repro.errors.WorkloadError` naming the known applications.
 
 Expensive figure computations are session-scoped fixtures so several
 benchmark tests can share one run.
@@ -18,7 +19,7 @@ import os
 import pytest
 
 from repro.frontend.presets import RTX_2080_TI
-from repro.tracegen.suites import app_names
+from repro.profile import select_bench_apps
 
 
 def bench_scale() -> str:
@@ -26,10 +27,10 @@ def bench_scale() -> str:
 
 
 def bench_apps():
-    raw = os.environ.get("REPRO_BENCH_APPS", "")
-    if raw.strip():
-        return [name.strip() for name in raw.split(",") if name.strip()]
-    return app_names()
+    # A typo in REPRO_BENCH_APPS must fail the session loudly, not
+    # quietly shrink it to an empty (and instantly "passing") run —
+    # select_bench_apps raises WorkloadError listing the known names.
+    return select_bench_apps(os.environ.get("REPRO_BENCH_APPS") or None)
 
 
 @pytest.fixture(scope="session")

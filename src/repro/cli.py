@@ -6,6 +6,8 @@ Everything a downstream user needs without writing Python::
     python -m repro presets                       # list GPU presets
     python -m repro tables                        # Tables I and II
     python -m repro simulate --app bfs --simulator swift-basic
+    python -m repro profile  --app gemm --simulator swift-basic --scale tiny
+    python -m repro profile  --bench --write-baseline benchmarks/baseline_bench.json
     python -m repro compare  --app gemm --scale small
     python -m repro trace    --app nw --out nw.trace
     python -m repro figure4  --apps bfs,gemm --scale tiny
@@ -79,6 +81,39 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = commands.add_parser("simulate", help="simulate one application")
     add_common(simulate)
     simulate.add_argument("--metrics", action="store_true", help="print the counter report")
+
+    profile = commands.add_parser(
+        "profile",
+        help="simulate under the cycle-attribution profiler "
+             "(per-module time/ticks/jump efficiency)",
+    )
+    add_common(profile)
+    profile.add_argument(
+        "--json", dest="json_out",
+        help="write the machine-readable profile report to this path",
+    )
+    profile.add_argument(
+        "--artifact", metavar="NAME",
+        help="also persist the report as BENCH_<NAME>.json "
+             "(directory: --bench-dir, $REPRO_BENCH_DIR, or cwd)",
+    )
+    profile.add_argument(
+        "--bench", action="store_true",
+        help="run the committed macro benchmarks instead of --app and "
+             "write their BENCH artifacts",
+    )
+    profile.add_argument(
+        "--repeats", type=int, default=2,
+        help="timing repeats for --bench (wall-clock is best-of-N)",
+    )
+    profile.add_argument(
+        "--bench-dir", help="directory for BENCH_*.json artifacts",
+    )
+    profile.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="with --bench: write the measured records to PATH as the "
+             "new perf-gate baseline",
+    )
 
     compare = commands.add_parser(
         "compare", help="run all three simulators plus the hardware oracle"
@@ -311,6 +346,51 @@ def _cmd_simulate(args) -> None:
         for module in metrics.modules():
             for counter, value in sorted(metrics.per_module[module].items()):
                 print(f"  {module}.{counter} = {value}")
+
+
+def _cmd_profile(args) -> None:
+    import json as json_module
+
+    from repro.profile import (
+        build_baseline,
+        profile_simulation,
+        run_macro_benchmarks,
+        write_bench_artifact,
+    )
+
+    if args.bench:
+        gpu = _resolve_gpu(args)
+        records = run_macro_benchmarks(gpu=gpu, repeats=args.repeats)
+        for key, record in records.items():
+            print(f"{key:28s} {record['cycles']:>10d} cycles "
+                  f"{record['wall_seconds']:>8.3f}s "
+                  f"jump-eff {100.0 * record['jump_efficiency']:5.1f}%")
+            path = write_bench_artifact(
+                key.replace("/", "_"), record, directory=args.bench_dir
+            )
+            print(f"  wrote {path}")
+        if args.write_baseline:
+            document = build_baseline(records)
+            with open(args.write_baseline, "w") as handle:
+                json_module.dump(document, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote perf-gate baseline with {len(records)} "
+                  f"benchmark(s) to {args.write_baseline}")
+        return
+    gpu = _resolve_gpu(args)
+    app = _resolve_app(args)
+    simulator = SIMULATORS[args.simulator](gpu)
+    __, report = profile_simulation(simulator, app)
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote JSON profile to {args.json_out}")
+    if args.artifact:
+        path = write_bench_artifact(
+            args.artifact, report.as_dict(), directory=args.bench_dir
+        )
+        print(f"wrote {path}")
 
 
 def _cmd_compare(args) -> None:
@@ -565,6 +645,7 @@ _COMMANDS = {
     "presets": _cmd_presets,
     "tables": _cmd_tables,
     "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
     "compare": _cmd_compare,
     "analyze": _cmd_analyze,
     "report": _cmd_report,

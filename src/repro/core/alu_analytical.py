@@ -32,6 +32,10 @@ class HybridALUModel(Module, InstructionSink):
     def __init__(self, config: ExecUnitConfig, name: str = "") -> None:
         super().__init__(name or f"alu_{config.unit.value}")
         self.config = config
+        # try_issue is the hybrid simulators' hottest sink: keep the
+        # per-issue constants out of the config-object attribute chain.
+        self._dispatch_interval = config.dispatch_interval
+        self._base_latency = config.latency
         self._port_free = 0
 
     def reset(self) -> None:
@@ -47,9 +51,9 @@ class HybridALUModel(Module, InstructionSink):
         if self._port_free > cycle:
             self.counters.add("dispatch_stalls")
             return None
-        interval = self.config.dispatch_interval
+        interval = self._dispatch_interval
         self._port_free = cycle + interval
-        latency = self.config.latency * inst.info.latency_factor
+        latency = self._base_latency * inst.latency_factor
         self.counters.add("instructions")
         self.counters.add("busy_cycles", interval)
         return cycle + interval - 1 + latency

@@ -91,7 +91,7 @@ class PipelinedExecutionUnit(Module, InstructionSink):
             return None
         interval = self.config.dispatch_interval
         self._port_free = cycle + interval
-        latency = self.config.latency * inst.info.latency_factor
+        latency = self.config.latency * inst.latency_factor
         done = cycle + interval - 1 + latency
         heapq.heappush(self._pipeline, (done, self._seq, warp, inst))
         self._seq += 1

@@ -60,15 +60,24 @@ class Scoreboard:
         pending = self._pending
         if not pending:
             return 0
+        # Two plain loops: splatting src+dest into one tuple allocates on
+        # every scheduler visit to a blocked warp (a very hot query).
         latest = 0
-        for reg in (*inst.src_regs, *inst.dest_regs):
-            release = pending.get(reg)
-            if release is None:
-                continue
-            if release >= _UNRESOLVED:
-                return None
-            if release > latest:
-                latest = release
+        get = pending.get
+        for reg in inst.src_regs:
+            release = get(reg)
+            if release is not None:
+                if release >= _UNRESOLVED:
+                    return None
+                if release > latest:
+                    latest = release
+        for reg in inst.dest_regs:
+            release = get(reg)
+            if release is not None:
+                if release >= _UNRESOLVED:
+                    return None
+                if release > latest:
+                    latest = release
         return latest
 
     def reserve(self, regs: Iterable[int], completion_cycle: Optional[int]) -> None:

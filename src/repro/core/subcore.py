@@ -63,6 +63,7 @@ class SubCore(Module, CompletionListener):
         self.sm = sm
         self.sub_id = sub_id
         self.sm_config = sm_config
+        self._issue_width = sm_config.issue_width
         self.policy = policy
         # Factories receive this sub-core so cycle-accurate sinks can use it
         # as their completion listener (two-phase wiring).
@@ -70,6 +71,14 @@ class SubCore(Module, CompletionListener):
             unit_config.unit: exec_unit_factory(self, unit_config)
             for unit_config in sm_config.exec_units
         }
+        # The tick loop only drains writebacks of per-cycle pipelined
+        # units; resolve that subset once here instead of isinstance-ing
+        # every unit on every cycle (hybrid plans have none at all).
+        self._pipelined_units: List[PipelinedExecutionUnit] = [
+            unit
+            for unit in self.exec_units.values()
+            if isinstance(unit, PipelinedExecutionUnit)
+        ]
         self.ldst_unit = ldst_factory(self)
         self.shared_unit = shared_factory(self)
         self.frontend = FrontEnd(sm_config) if use_frontend else None
@@ -123,11 +132,10 @@ class SubCore(Module, CompletionListener):
     def tick(self, cycle: int) -> int:
         """Run one scheduler cycle; return the next interesting cycle."""
         wake = NEVER
-        for unit in self.exec_units.values():
-            if isinstance(unit, PipelinedExecutionUnit):
-                unit.tick(cycle)
-                if unit.busy:
-                    wake = cycle + 1
+        for unit in self._pipelined_units:
+            unit.tick(cycle)
+            if unit.busy:
+                wake = cycle + 1
         frontend = self.frontend
         if frontend is not None:
             frontend.tick(cycle, self.warps)
@@ -174,8 +182,9 @@ class SubCore(Module, CompletionListener):
                 self.counters.add("idle_cycles")
             return wake
         issued = 0
+        issue_width = self._issue_width
         for warp in self.policy.order(candidates, cycle):
-            if issued >= self.sm_config.issue_width:
+            if issued >= issue_width:
                 break
             accepted, retry = self._dispatch(warp, cycle)
             if accepted:

@@ -36,6 +36,7 @@ class TraceInstruction:
     __slots__ = (
         "pc", "opcode", "info", "dest_regs", "src_regs", "active_mask",
         "addresses", "kind", "unit", "mem_space", "is_memory",
+        "latency_factor", "active_threads",
     )
 
     def __init__(
@@ -76,10 +77,8 @@ class TraceInstruction:
         self.unit = info.unit
         self.mem_space = info.mem_space
         self.is_memory = info.is_memory
-
-    @property
-    def active_threads(self) -> int:
-        return bit_count(self.active_mask)
+        self.latency_factor = info.latency_factor
+        self.active_threads = active_threads
 
     def __repr__(self) -> str:
         return (
@@ -240,7 +239,9 @@ class KernelTrace:
 class ApplicationTrace:
     """A whole application: an ordered list of kernel launches."""
 
-    __slots__ = ("name", "suite", "kernels")
+    # ``__weakref__`` lets memo layers (analytical-profile and trace
+    # caches) key on the application without pinning it in memory.
+    __slots__ = ("name", "suite", "kernels", "__weakref__")
 
     def __init__(self, name: str, kernels: Sequence[KernelTrace], suite: str = "") -> None:
         if not name:

@@ -16,6 +16,7 @@ extra speedup over Swift-Sim-Basic.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
 from typing import Dict, List, Tuple
 
 from repro.frontend.config import GPUConfig
@@ -27,6 +28,16 @@ from repro.memory.l2 import build_l2_slices, partition_for_line, slice_line_addr
 from repro.memory.reuse_distance import PCProfile, ReuseDistanceProfiler
 from repro.sim.module import ModelLevel, Module
 from repro.utils.bitops import ceil_div
+from repro.utils.fastpath import get_fastpaths
+
+#: Memoized :meth:`MemoryProfile.for_application` results, keyed weakly
+#: on the application trace.  Profiling is a deterministic pure function
+#: of ``(config, kernels, source)`` and the resulting profiles are
+#: immutable after construction, so re-running it for the same app —
+#: which differential/shadow verification and benchmark sweeps do
+#: constantly — is pure waste.  Values hold ``(config, source,
+#: profiles)`` triples; configs are compared by identity.
+_PROFILE_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
 
 
 class MemoryProfile:
@@ -76,17 +87,35 @@ class MemoryProfile:
 
     @staticmethod
     def for_application(
-        config: GPUConfig, kernels, source: str = "cache_sim"
+        config: GPUConfig, kernels, source: str = "cache_sim", memo_key=None
     ) -> "List[MemoryProfile]":
         """Per-kernel profiles with cache/stack state carried *across*
-        kernels, matching the simulated caches' cross-kernel warmth."""
+        kernels, matching the simulated caches' cross-kernel warmth.
+
+        ``memo_key`` (an :class:`~repro.frontend.trace.ApplicationTrace`
+        owning exactly ``kernels``) opts the call into the
+        ``cache_memo`` fast path: repeated profiling of the same app
+        with the same config and source returns the cached profiles.
+        """
+        memoize = memo_key is not None and get_fastpaths().cache_memo
+        if memoize:
+            for entry_config, entry_source, profiles in _PROFILE_MEMO.get(
+                memo_key, ()
+            ):
+                if entry_config is config and entry_source == source:
+                    return profiles
         if source == "reuse_distance":
             profiler = ReuseDistanceProfiler(config)
             tallies = profiler.profile_many(kernels)
         else:
             cache_profiler = CacheSimProfiler(config)
             tallies = [cache_profiler.profile(kernel) for kernel in kernels]
-        return [MemoryProfile(config, per_pc) for per_pc in tallies]
+        profiles = [MemoryProfile(config, per_pc) for per_pc in tallies]
+        if memoize:
+            _PROFILE_MEMO.setdefault(memo_key, []).append(
+                (config, source, profiles)
+            )
+        return profiles
 
 
 class CacheSimProfiler:

@@ -24,8 +24,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.frontend.config import CacheConfig
-from repro.memory.replacement import make_replacement_policy
+from repro.memory.replacement import ReplacementPolicy, make_replacement_policy
 from repro.sim.module import ModelLevel, Module
+from repro.utils.bitops import bit_count
+from repro.utils.fastpath import get_fastpaths
 
 
 @unique
@@ -71,6 +73,22 @@ class AccessResult:
         )
 
 
+# Shared results for the two allocation-heavy outcomes that carry no
+# per-access payload (callers treat AccessResult as read-only).
+_HIT = AccessResult(AccessStatus.HIT)
+_MISS_BYPASS_WRITE_THROUGH = AccessResult(AccessStatus.MISS_BYPASS)
+
+#: status -> counter incremented by :meth:`SectoredCache.access`.
+_STATUS_COUNTERS = {
+    AccessStatus.HIT: "sector_hits",
+    AccessStatus.PENDING_HIT: "pending_hits",
+    AccessStatus.MISS: "sector_misses",
+    AccessStatus.MISS_BYPASS: "sector_misses",
+    AccessStatus.MSHR_FULL: "mshr_full_stalls",
+    AccessStatus.RESERVATION_FAIL: "reservation_fails",
+}
+
+
 class _Line:
     """One tag-array way."""
 
@@ -111,13 +129,18 @@ class SectoredCache(Module):
         self._num_sets = config.num_sets
         self._assoc = config.assoc
         self._sectors_per_line = config.sectors_per_line
-        self._sets: List[List[_Line]] = [
-            [_Line() for __ in range(self._assoc)] for __ in range(self._num_sets)
-        ]
-        self._policies = [
-            make_replacement_policy(config.replacement, self._assoc, seed=seed + s)
-            for s in range(self._num_sets)
-        ]
+        self._seed = seed
+        # Tag-array sets keyed by set index.  Short workloads touch a
+        # small fraction of a 512-set L2, so under the ``cache_memo``
+        # fast path sets (and their replacement policies) materialize on
+        # first touch; otherwise they are all built here.  Per-set
+        # policy seeds are derived from the set index, so allocation
+        # order cannot change replacement behavior.
+        self._sets: Dict[int, List[_Line]] = {}
+        self._policies: Dict[int, ReplacementPolicy] = {}
+        if not get_fastpaths().cache_memo:
+            for set_idx in range(self._num_sets):
+                self._alloc_set(set_idx)
         self._mshr: Dict[Tuple[int, int], _MSHREntry] = {}
         self._expiry: List[Tuple[int, int, int]] = []  # (fill_cycle, line, sector)
         self._functional_clock = 0
@@ -125,9 +148,17 @@ class SectoredCache(Module):
     # ------------------------------------------------------------------
     # bookkeeping
 
+    def _alloc_set(self, set_idx: int) -> List[_Line]:
+        ways = [_Line() for __ in range(self._assoc)]
+        self._sets[set_idx] = ways
+        self._policies[set_idx] = make_replacement_policy(
+            self.config.replacement, self._assoc, seed=self._seed + set_idx
+        )
+        return ways
+
     def reset(self) -> None:
         super().reset()
-        for cache_set in self._sets:
+        for cache_set in self._sets.values():
             for line in cache_set:
                 line.tag = -1
                 line.valid_mask = 0
@@ -151,10 +182,11 @@ class SectoredCache(Module):
             line.valid_mask |= bit
             self.counters.add("fills")
 
-    def _locate(self, set_idx: int, tag: int) -> Optional[int]:
+    @staticmethod
+    def _locate(ways: List[_Line], tag: int) -> Optional[int]:
         # Unallocated ways hold tag -1 and real tags are non-negative, so a
         # plain equality test suffices (hot path: no property calls).
-        for way, line in enumerate(self._sets[set_idx]):
+        for way, line in enumerate(ways):
             if line.tag == tag:
                 return way
         return None
@@ -180,10 +212,12 @@ class SectoredCache(Module):
         Used by reservation-mode drivers to retry a structurally stalled
         access at the first cycle the stall could clear.
         """
-        self._expire(after_cycle)
-        if not self._expiry:
+        expiry = self._expiry
+        if expiry and expiry[0][0] <= after_cycle:
+            self._expire(after_cycle)
+        if not expiry:
             return None
-        return self._expiry[0][0]
+        return expiry[0][0]
 
     def mshr_occupancy(self) -> int:
         """Number of live MSHR entries (for tests and metrics)."""
@@ -195,12 +229,14 @@ class SectoredCache(Module):
         touched either way)."""
         if cycle is not None:
             self._expire(cycle)
-        set_idx = line_addr % self._num_sets
-        tag = line_addr // self._num_sets
-        way = self._locate(set_idx, tag)
+        tag, set_idx = divmod(line_addr, self._num_sets)
+        ways = self._sets.get(set_idx)
+        if ways is None:
+            return False  # set never touched (lazy allocation)
+        way = self._locate(ways, tag)
         if way is None:
             return False
-        return bool(self._sets[set_idx][way].valid_mask & (1 << sector))
+        return bool(ways[way].valid_mask & (1 << sector))
 
     # ------------------------------------------------------------------
     # the access state machine
@@ -209,25 +245,18 @@ class SectoredCache(Module):
         self, line_addr: int, sector: int, is_write: bool, cycle: int
     ) -> AccessResult:
         """Perform one sector access at ``cycle``. See class docstring."""
-        if self._expiry:
+        expiry = self._expiry
+        if expiry and expiry[0][0] <= cycle:
             self._expire(cycle)
-        self.counters.add("sector_accesses")
+        counters_add = self.counters.add
+        counters_add("sector_accesses")
         if is_write:
             result = self._access_write(line_addr, sector)
         else:
             result = self._access_read(line_addr, sector)
-        if result.status in (AccessStatus.MISS, AccessStatus.MISS_BYPASS):
-            self.counters.add("sector_misses")
-        elif result.status is AccessStatus.HIT:
-            self.counters.add("sector_hits")
-        elif result.status is AccessStatus.PENDING_HIT:
-            self.counters.add("pending_hits")
-        elif result.status is AccessStatus.MSHR_FULL:
-            self.counters.add("mshr_full_stalls")
-        elif result.status is AccessStatus.RESERVATION_FAIL:
-            self.counters.add("reservation_fails")
+        counters_add(_STATUS_COUNTERS[result.status])
         if result.dirty_writeback_sectors:
-            self.counters.add("writeback_sectors", result.dirty_writeback_sectors)
+            counters_add("writeback_sectors", result.dirty_writeback_sectors)
         return result
 
     def access_functional(self, line_addr: int, sector: int, is_write: bool) -> AccessResult:
@@ -241,15 +270,17 @@ class SectoredCache(Module):
         return result
 
     def _access_read(self, line_addr: int, sector: int) -> AccessResult:
-        set_idx = line_addr % self._num_sets
-        tag = line_addr // self._num_sets
+        tag, set_idx = divmod(line_addr, self._num_sets)
         bit = 1 << sector
-        way = self._locate(set_idx, tag)
+        ways = self._sets.get(set_idx)
+        if ways is None:
+            ways = self._alloc_set(set_idx)
+        way = self._locate(ways, tag)
         if way is not None:
-            line = self._sets[set_idx][way]
+            line = ways[way]
             if line.valid_mask & bit:
                 self._policies[set_idx].on_access(way)
-                return AccessResult(AccessStatus.HIT)
+                return _HIT
             entry = self._mshr.get((line_addr, sector))
             if entry is not None:
                 if entry.merges >= self.config.mshr_max_merge:
@@ -268,14 +299,14 @@ class SectoredCache(Module):
         # Line miss: allocate a way (or bypass for streaming caches).
         if len(self._mshr) >= self.config.mshr_entries:
             return AccessResult(AccessStatus.MSHR_FULL)
-        victim = self._find_victim(set_idx)
+        victim = self._find_victim(set_idx, ways)
         if victim is None:
             if self.config.streaming:
                 self.counters.add("bypasses")
                 return AccessResult(AccessStatus.MISS_BYPASS, needs_fetch=True)
             return AccessResult(AccessStatus.RESERVATION_FAIL)
-        writeback = self._install(set_idx, victim, tag)
-        line = self._sets[set_idx][victim]
+        writeback = self._install(set_idx, victim, tag, ways)
+        line = ways[victim]
         line.pending_mask |= bit
         self._mshr[(line_addr, sector)] = _MSHREntry(set_idx, victim)
         return AccessResult(
@@ -283,22 +314,24 @@ class SectoredCache(Module):
         )
 
     def _access_write(self, line_addr: int, sector: int) -> AccessResult:
-        set_idx = line_addr % self._num_sets
-        tag = line_addr // self._num_sets
+        tag, set_idx = divmod(line_addr, self._num_sets)
         bit = 1 << sector
-        way = self._locate(set_idx, tag)
+        ways = self._sets.get(set_idx)
+        if ways is None:
+            ways = self._alloc_set(set_idx)
+        way = self._locate(ways, tag)
         if not self.config.write_back:
             # Write-through, no write-allocate (the Turing L1): update the
             # sector if present; the caller forwards the write downstream
             # either way.
-            if way is not None and self._sets[set_idx][way].valid_mask & bit:
+            if way is not None and ways[way].valid_mask & bit:
                 self._policies[set_idx].on_access(way)
-                return AccessResult(AccessStatus.HIT)
-            return AccessResult(AccessStatus.MISS_BYPASS)
+                return _HIT
+            return _MISS_BYPASS_WRITE_THROUGH
         # Write-back, write-allocate (the L2). A full-sector store needs no
         # downstream fetch: allocate, mark valid + dirty.
         if way is not None:
-            line = self._sets[set_idx][way]
+            line = ways[way]
             if line.pending_mask & bit:
                 # Sector is being filled; coalesce the write behind the fill.
                 entry = self._mshr.get((line_addr, sector))
@@ -312,20 +345,19 @@ class SectoredCache(Module):
             line.dirty_mask |= bit
             self._policies[set_idx].on_access(way)
             return AccessResult(AccessStatus.HIT if hit else AccessStatus.MISS)
-        victim = self._find_victim(set_idx)
+        victim = self._find_victim(set_idx, ways)
         if victim is None:
             return AccessResult(AccessStatus.RESERVATION_FAIL)
-        writeback = self._install(set_idx, victim, tag)
-        line = self._sets[set_idx][victim]
+        writeback = self._install(set_idx, victim, tag, ways)
+        line = ways[victim]
         line.valid_mask |= bit
         line.dirty_mask |= bit
         return AccessResult(
             AccessStatus.MISS, needs_fetch=False, dirty_writeback_sectors=writeback
         )
 
-    def _find_victim(self, set_idx: int) -> Optional[int]:
+    def _find_victim(self, set_idx: int, ways: List[_Line]) -> Optional[int]:
         """Pick a way to evict; lines with in-flight fills are not evictable."""
-        ways = self._sets[set_idx]
         for way, line in enumerate(ways):
             if line.tag < 0:
                 return way
@@ -334,12 +366,12 @@ class SectoredCache(Module):
             return None
         return self._policies[set_idx].victim(candidates)
 
-    def _install(self, set_idx: int, way: int, tag: int) -> int:
+    def _install(self, set_idx: int, way: int, tag: int, ways: List[_Line]) -> int:
         """Evict whatever occupies ``way`` and install ``tag``; return the
         number of dirty sectors written back."""
-        line = self._sets[set_idx][way]
+        line = ways[way]
         allocated = line.tag >= 0
-        writeback = bin(line.dirty_mask).count("1") if allocated else 0
+        writeback = bit_count(line.dirty_mask) if allocated else 0
         if writeback:
             self.counters.add("evictions_dirty")
         elif allocated:

@@ -52,16 +52,19 @@ def _retry_access(
     so a structural stall always clears at the next fill.  Returns the
     (result, cycle_of_successful_access) pair.
     """
+    result = cache.access(line, sector, is_write, cycle)
+    if result.status not in _STALL_STATUSES:
+        return result, cycle  # overwhelmingly common: no structural stall
     for __ in range(_MAX_RETRIES):
-        result = cache.access(line, sector, is_write, cycle)
-        if result.status not in _STALL_STATUSES:
-            return result, cycle
         next_fill = cache.next_fill_cycle(cycle)
         if next_fill is None:
             raise SimulationError(
                 f"{cache.name}: structural stall with no in-flight fills"
             )
         cycle = next_fill
+        result = cache.access(line, sector, is_write, cycle)
+        if result.status not in _STALL_STATUSES:
+            return result, cycle
     raise SimulationError(f"{cache.name}: access retried {_MAX_RETRIES} times")
 
 
@@ -94,6 +97,12 @@ class QueuedMemorySystem(Module):
             [0] * config.l2.banks for __ in range(config.memory_partitions)
         ]
         self._last_l1_start = 0
+        # Per-transaction hot-path constants, hoisted off the config chain.
+        self._l1_line_bytes = config.l1.line_bytes
+        self._l1_sector_bytes = config.l1.sector_bytes
+        self._l1_latency = config.l1.latency
+        self._l2_latency = config.l2.latency
+        self._partitions = config.memory_partitions
 
     def reset(self) -> None:
         super().reset()
@@ -117,7 +126,7 @@ class QueuedMemorySystem(Module):
         camping therefore back-pressures issue, as it does in hardware).
         """
         transactions = coalesce(
-            inst.addresses, self.config.l1.line_bytes, self.config.l1.sector_bytes
+            inst.addresses, self._l1_line_bytes, self._l1_sector_bytes
         )
         kind = inst.kind
         is_store = kind is InstKind.STORE
@@ -173,7 +182,7 @@ class QueuedMemorySystem(Module):
         l1 = self.l1_caches[sm_id]
         start = self._l1_port(sm_id, line, cycle)
         result, start = _retry_access(l1, line, sector, False, start)
-        hit_latency = self.config.l1.latency
+        hit_latency = self._l1_latency
         if result.status is AccessStatus.HIT:
             return start + hit_latency
         if result.status is AccessStatus.PENDING_HIT:
@@ -198,14 +207,14 @@ class QueuedMemorySystem(Module):
         # Write-through: the sector always travels to the L2 (address flit
         # + data flit). The store retires once handed to the NoC; the L2
         # write still consumes bandwidth behind it.
-        partition = partition_for_line(line, self.config.memory_partitions)
+        partition = partition_for_line(line, self._partitions)
         arrival = self.noc.send_request(start + 1, partition, flits=2)
         self._l2_write(line, sector, arrival)
         return start + 1
 
     def _atomic_transaction(self, line: int, sector: int, cycle: int) -> int:
         """Atomics bypass the L1 and are performed at the L2."""
-        partition = partition_for_line(line, self.config.memory_partitions)
+        partition = partition_for_line(line, self._partitions)
         arrival = self.noc.send_request(cycle, partition, flits=2)
         done_at_l2 = self._l2_write(line, sector, arrival)
         response = self.noc.send_response(done_at_l2, partition, flits=1)
@@ -216,13 +225,14 @@ class QueuedMemorySystem(Module):
     ) -> int:
         """Read ``sector`` from the L2 (fetching from DRAM on a miss);
         returns the cycle the response lands back at the SM."""
-        partition = partition_for_line(line, self.config.memory_partitions)
-        slice_line = slice_line_addr(line, self.config.memory_partitions)
+        partitions = self._partitions
+        partition = partition_for_line(line, partitions)
+        slice_line = slice_line_addr(line, partitions)
         arrival = self.noc.send_request(cycle, partition, flits=1)
         start = self._l2_port(partition, slice_line, arrival)
         l2 = self.l2_slices[partition]
         result, start = _retry_access(l2, slice_line, sector, is_write, start)
-        l2_latency = self.config.l2.latency
+        l2_latency = self._l2_latency
         if result.status is AccessStatus.HIT:
             data_at = start + l2_latency
         elif result.status is AccessStatus.PENDING_HIT:
@@ -245,8 +255,8 @@ class QueuedMemorySystem(Module):
 
     def _l2_write(self, line: int, sector: int, cycle: int) -> int:
         """Perform a write at the L2 slice; returns the write-done cycle."""
-        partition = partition_for_line(line, self.config.memory_partitions)
-        slice_line = slice_line_addr(line, self.config.memory_partitions)
+        partition = partition_for_line(line, self._partitions)
+        slice_line = slice_line_addr(line, self._partitions)
         start = self._l2_port(partition, slice_line, cycle)
         l2 = self.l2_slices[partition]
         result, start = _retry_access(l2, slice_line, sector, True, start)

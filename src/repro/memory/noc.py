@@ -18,7 +18,6 @@ from typing import Callable, Deque, List, Tuple
 
 from repro.frontend.config import NoCConfig
 from repro.sim.module import ModelLevel, Module
-from repro.utils.bitops import ceil_div
 
 
 class ReservedNoC(Module):
@@ -31,6 +30,10 @@ class ReservedNoC(Module):
         super().__init__(name)
         self.config = config
         self.num_partitions = num_partitions
+        # _send runs once per memory transaction in both directions —
+        # keep its constants off the config attribute chain.
+        self._flits_per_cycle = config.flits_per_cycle
+        self._latency = config.latency
         self._request_free = [0] * num_partitions
         self._response_free = [0] * num_partitions
 
@@ -45,10 +48,11 @@ class ReservedNoC(Module):
             start = cycle
         else:
             self.counters.add("stall_cycles", start - cycle)
-        occupancy = ceil_div(flits, self.config.flits_per_cycle)
+        per_cycle = self._flits_per_cycle
+        occupancy = (flits + per_cycle - 1) // per_cycle
         free[partition] = start + occupancy
         self.counters.add("flits", flits)
-        return start + occupancy - 1 + self.config.latency
+        return start + occupancy - 1 + self._latency
 
     def send_request(self, cycle: int, partition: int, flits: int = 1) -> int:
         """Inject a request toward ``partition``; return its arrival cycle."""

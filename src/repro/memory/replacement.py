@@ -49,7 +49,10 @@ class LRUPolicy(ReplacementPolicy):
         self._touch(way)
 
     def victim(self, candidates: Sequence[int]) -> int:
-        return min(candidates, key=lambda way: self._last_use[way])
+        if len(candidates) == 1:
+            return candidates[0]
+        # Bound-method key avoids a lambda frame per comparison.
+        return min(candidates, key=self._last_use.__getitem__)
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -68,7 +71,9 @@ class FIFOPolicy(ReplacementPolicy):
         pass
 
     def victim(self, candidates: Sequence[int]) -> int:
-        return min(candidates, key=lambda way: self._fill_order[way])
+        if len(candidates) == 1:
+            return candidates[0]
+        return min(candidates, key=self._fill_order.__getitem__)
 
 
 class RandomPolicy(ReplacementPolicy):

@@ -1,0 +1,324 @@
+"""Macro benchmarks and persisted ``BENCH_<name>.json`` artifacts.
+
+This module is the substrate under three consumers:
+
+* the ``repro profile`` CLI (one-off attribution runs),
+* the ``benchmarks/`` suite (persists artifacts, refreshes baselines),
+* ``tests/test_perf_regression.py`` + the CI perf gate (re-runs the
+  committed macro benchmarks and compares wall-clock within a
+  tolerance, with per-module attribution in the failure message).
+
+Wall-clock baselines are machine-relative, so the gate uses a generous
+default tolerance (``DEFAULT_TOLERANCE``, overridable through
+``REPRO_BENCH_TOLERANCE``) and reports best-of-``repeats`` timings to
+damp scheduler noise.  Cycle counts are deterministic and compared
+exactly — a cycle diff is a correctness regression, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import WorkloadError
+from repro.frontend.config import GPUConfig
+from repro.frontend.presets import get_preset
+from repro.profile.runner import profile_simulation
+from repro.tracegen.suites import app_names, make_app
+
+#: Relative wall-clock drift tolerated by the perf gate before it fails.
+DEFAULT_TOLERANCE = 0.30
+
+#: The committed macro benchmarks: (simulator, app, scale) triples small
+#: enough for CI yet touching both hot paths (engine+cache via gemm,
+#: control/divergence via bfs).
+MACRO_BENCHMARKS = (
+    ("swift-basic", "gemm", "tiny"),
+    ("swift-basic", "bfs", "tiny"),
+)
+
+
+def _simulator_registry() -> Dict[str, type]:
+    # Imported lazily (and not from repro.cli) so profile <-> cli never
+    # form an import cycle.
+    from repro.simulators.accel_like import AccelSimLike
+    from repro.simulators.interval import IntervalSimulator
+    from repro.simulators.swift_basic import SwiftSimBasic
+    from repro.simulators.swift_memory import SwiftSimMemory
+
+    return {
+        "accel-like": AccelSimLike,
+        "swift-basic": SwiftSimBasic,
+        "swift-memory": SwiftSimMemory,
+        "interval": IntervalSimulator,
+    }
+
+
+def make_simulator(name: str, gpu: GPUConfig):
+    """Instantiate a simulator by CLI name (e.g. ``swift-basic``)."""
+    registry = _simulator_registry()
+    if name not in registry:
+        raise WorkloadError(
+            f"unknown simulator {name!r}; known: {sorted(registry)}"
+        )
+    return registry[name](gpu)
+
+
+def bench_tolerance(default: float = DEFAULT_TOLERANCE) -> float:
+    """The perf gate's relative tolerance (``REPRO_BENCH_TOLERANCE``)."""
+    raw = os.environ.get("REPRO_BENCH_TOLERANCE", "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise WorkloadError(
+            f"REPRO_BENCH_TOLERANCE must be a number, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise WorkloadError(
+            f"REPRO_BENCH_TOLERANCE must be positive, got {value}"
+        )
+    return value
+
+
+def select_bench_apps(
+    raw: Union[None, str, Sequence[str]],
+    default: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Resolve a benchmark app selection against the app registry.
+
+    ``raw`` is a comma-separated string (the ``REPRO_BENCH_APPS``
+    convention), an iterable of names, or ``None``/empty for the default
+    (the full registry unless ``default`` is given).  Unknown names are
+    a hard :class:`~repro.errors.WorkloadError` — a typo must fail the
+    run loudly, never shrink it to a silently empty benchmark.
+    """
+    known = app_names()
+    if raw is None:
+        selected = list(default) if default is not None else list(known)
+    elif isinstance(raw, str):
+        selected = [name.strip() for name in raw.split(",") if name.strip()]
+        if not selected:
+            selected = list(default) if default is not None else list(known)
+    else:
+        selected = [str(name).strip() for name in raw if str(name).strip()]
+        if not selected:
+            selected = list(default) if default is not None else list(known)
+    unknown = [name for name in selected if name not in known]
+    if unknown:
+        raise WorkloadError(
+            f"unknown benchmark app(s) {unknown}; known apps: {list(known)}"
+        )
+    return selected
+
+
+def machine_info() -> dict:
+    """Identify the machine a benchmark artifact was recorded on."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+# ----------------------------------------------------------------------
+# artifacts
+
+
+def bench_artifact_dir(directory: Union[None, str, Path] = None) -> Path:
+    """Resolve where ``BENCH_*.json`` artifacts go.
+
+    Explicit argument wins, then ``REPRO_BENCH_DIR``, then the current
+    working directory.
+    """
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get("REPRO_BENCH_DIR", "").strip()
+    return Path(env) if env else Path.cwd()
+
+
+def write_bench_artifact(
+    name: str, payload: dict, directory: Union[None, str, Path] = None
+) -> Path:
+    """Persist ``payload`` as ``BENCH_<name>.json``; return the path."""
+    safe = "".join(ch if ch.isalnum() or ch in "-_" else "_" for ch in name)
+    if not safe.strip("-_"):
+        raise WorkloadError(
+            f"benchmark artifact name {name!r} has no usable characters"
+        )
+    target_dir = bench_artifact_dir(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"BENCH_{safe}.json"
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# macro benchmarks
+
+
+def macro_key(simulator: str, app: str, scale: str) -> str:
+    return f"{simulator}/{app}/{scale}"
+
+
+def run_macro_benchmark(
+    simulator: str,
+    app: str,
+    scale: str,
+    gpu: Union[str, GPUConfig] = "rtx2080ti",
+    repeats: int = 2,
+) -> dict:
+    """Run one macro benchmark under the profiler; return its record.
+
+    Wall-clock is best-of-``repeats`` (the minimum is the least noisy
+    estimator for a deterministic workload); attribution comes from the
+    fastest run.
+    """
+    if repeats < 1:
+        raise WorkloadError(f"repeats must be >= 1, got {repeats}")
+    config = get_preset(gpu) if isinstance(gpu, str) else gpu
+    trace = make_app(app, scale=scale)
+    best = None
+    for __ in range(repeats):
+        sim = make_simulator(simulator, config)
+        result, report = profile_simulation(sim, trace, gather_metrics=False)
+        if best is None or result.wall_time_seconds < best[0].wall_time_seconds:
+            best = (result, report)
+    result, report = best
+    return {
+        "key": macro_key(simulator, app, scale),
+        "simulator": simulator,
+        "app": app,
+        "scale": scale,
+        "gpu": config.name,
+        "repeats": repeats,
+        "cycles": result.total_cycles,
+        "wall_seconds": result.wall_time_seconds,
+        "jump_efficiency": report.jump_efficiency,
+        "modules": {
+            stats.name: {
+                "ticks": stats.ticks,
+                "wall_seconds": stats.wall_seconds,
+                "skipped_cycles": stats.skipped_cycles,
+            }
+            for stats in report.modules
+        },
+    }
+
+
+def run_macro_benchmarks(
+    benchmarks: Iterable[Sequence[str]] = MACRO_BENCHMARKS,
+    gpu: Union[str, GPUConfig] = "rtx2080ti",
+    repeats: int = 2,
+) -> Dict[str, dict]:
+    """Run all configured macro benchmarks, keyed by :func:`macro_key`."""
+    records: Dict[str, dict] = {}
+    for simulator, app, scale in benchmarks:
+        record = run_macro_benchmark(simulator, app, scale, gpu=gpu, repeats=repeats)
+        records[record["key"]] = record
+    return records
+
+
+# ----------------------------------------------------------------------
+# the perf gate
+
+
+def load_baseline(path: Union[str, Path]) -> Optional[dict]:
+    """Load a committed benchmark baseline; ``None`` when absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        baseline = json.load(handle)
+    if not isinstance(baseline, dict) or "macro" not in baseline:
+        raise WorkloadError(
+            f"baseline {path} is not a benchmark baseline (missing 'macro')"
+        )
+    return baseline
+
+
+def _attribution_diff(current: dict, baseline: dict) -> List[str]:
+    """Per-module wall/tick drift lines, largest wall regression first."""
+    current_modules = current.get("modules", {})
+    baseline_modules = baseline.get("modules", {})
+    rows = []
+    for name in sorted(set(current_modules) | set(baseline_modules)):
+        now = current_modules.get(name, {})
+        then = baseline_modules.get(name, {})
+        now_wall = now.get("wall_seconds", 0.0)
+        then_wall = then.get("wall_seconds", 0.0)
+        rows.append((now_wall - then_wall, name, now, then))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    lines = []
+    for delta, name, now, then in rows:
+        lines.append(
+            f"    {name:28s} wall {then.get('wall_seconds', 0.0):.4f}s -> "
+            f"{now.get('wall_seconds', 0.0):.4f}s ({delta:+.4f}s), "
+            f"ticks {then.get('ticks', 0)} -> {now.get('ticks', 0)}"
+        )
+    return lines
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: Optional[float] = None
+) -> List[str]:
+    """Compare one macro record against its baseline entry.
+
+    Returns a list of violation messages (empty = within tolerance).
+    Wall-clock may drift by ``tolerance`` in either direction — a large
+    speedup also fails so the baseline gets refreshed and keeps teeth.
+    Cycle counts must match exactly.
+    """
+    if tolerance is None:
+        tolerance = bench_tolerance()
+    violations: List[str] = []
+    key = current.get("key", "?")
+    if current.get("cycles") != baseline.get("cycles"):
+        violations.append(
+            f"{key}: cycle count changed: baseline {baseline.get('cycles')} "
+            f"vs current {current.get('cycles')} — this is a determinism/"
+            f"correctness regression, not timing noise"
+        )
+    base_wall = baseline.get("wall_seconds", 0.0)
+    now_wall = current.get("wall_seconds", 0.0)
+    if base_wall > 0:
+        ratio = now_wall / base_wall
+        if ratio > 1.0 + tolerance or ratio < 1.0 / (1.0 + tolerance):
+            direction = "slower" if ratio > 1.0 else "faster"
+            message = [
+                f"{key}: wall-clock {now_wall:.4f}s is {ratio:.2f}x the "
+                f"baseline {base_wall:.4f}s ({direction}; tolerance "
+                f"+/-{tolerance:.0%}); per-module attribution:"
+            ]
+            message.extend(_attribution_diff(current, baseline))
+            if ratio < 1.0:
+                message.append(
+                    "    (a large speedup trips the gate too: refresh the "
+                    "baseline with `repro profile --write-baseline` so "
+                    "future regressions are judged from the new floor)"
+                )
+            violations.append("\n".join(message))
+    return violations
+
+
+def build_baseline(
+    records: Dict[str, dict], extra: Optional[dict] = None
+) -> dict:
+    """Assemble a committable baseline document from macro records."""
+    document = {
+        "schema": 1,
+        "machine": machine_info(),
+        "macro": records,
+    }
+    if extra:
+        document.update(extra)
+    return document

@@ -1,0 +1,167 @@
+"""Cycle-attribution profiler.
+
+:class:`ModuleProfiler` is an :class:`~repro.sim.engine.EngineChecker`
+that rides the engine's existing observer hooks — it never touches
+module state, so attaching it cannot change simulation behavior (the
+same guarantee the runtime sanitizer relies on).  Per engine-clocked
+module it attributes
+
+* **ticks** — how many times the engine dispatched the module;
+* **wall seconds** — time spent inside the module's ``tick`` (measured
+  between the paired ``on_tick``/``on_tick_end`` callbacks; inclusive of
+  submodules the tick calls synchronously, e.g. an SM ticking its
+  sub-cores and the queued memory system);
+* **skipped cycles** — cycles inside the module's active window
+  ``[first scheduled, run end]`` that the engine never dispatched it
+  for, i.e. the cycles event-jump clocking elided.
+
+``skipped + ticked`` always equals the module's window span, and the sum
+of per-module ticks equals the engine's dispatch total — the fuzz suite
+asserts both (no double-counting, no lost cycles).  **Jump efficiency**
+is ``skipped / (skipped + ticked)``: 0.0 for a per-cycle module, close
+to 1.0 for a module that sleeps through long memory latencies.
+
+Stats aggregate by *module name* across engines, so one profiler
+attached to a multi-kernel :meth:`PlanSimulator.simulate
+<repro.simulators.base.PlanSimulator.simulate>` call reports totals per
+SM/memory-system over the whole application, like the Metrics Gatherer.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.sim.engine import ClockedModule, EngineChecker
+
+
+class ModuleStats:
+    """Aggregated attribution for one module name."""
+
+    __slots__ = ("name", "ticks", "wall_seconds", "skipped_cycles", "runs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ticks = 0
+        self.wall_seconds = 0.0
+        self.skipped_cycles = 0
+        self.runs = 0
+
+    @property
+    def window_cycles(self) -> int:
+        """Cycles in the module's active window(s): ticked + skipped."""
+        return self.ticks + self.skipped_cycles
+
+    @property
+    def jump_efficiency(self) -> float:
+        """Fraction of window cycles elided by event-jump clocking."""
+        window = self.ticks + self.skipped_cycles
+        if window <= 0:
+            return 0.0
+        return self.skipped_cycles / window
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ticks": self.ticks,
+            "wall_seconds": self.wall_seconds,
+            "skipped_cycles": self.skipped_cycles,
+            "window_cycles": self.window_cycles,
+            "jump_efficiency": self.jump_efficiency,
+            "runs": self.runs,
+        }
+
+
+class _LiveStat:
+    """Per-(engine run, module object) bookkeeping."""
+
+    __slots__ = ("start_cycle", "first_tick", "last_tick", "ticks", "wall", "tick_began")
+
+    def __init__(self, start_cycle: int) -> None:
+        self.start_cycle = start_cycle
+        self.first_tick: Optional[int] = None
+        self.last_tick = 0
+        self.ticks = 0
+        self.wall = 0.0
+        self.tick_began = 0.0
+
+
+class ModuleProfiler(EngineChecker):
+    """Low-overhead per-module time/tick/jump attribution.
+
+    Attach to one engine (:meth:`Engine.attach_checker
+    <repro.sim.engine.Engine.attach_checker>`) or pass as ``checker=`` to
+    :meth:`PlanSimulator.simulate
+    <repro.simulators.base.PlanSimulator.simulate>`, which attaches it to
+    every kernel's engine.  Costs two ``perf_counter`` reads per
+    dispatch; everything else is dict arithmetic.
+    """
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, ModuleStats] = {}
+        self.total_dispatches = 0
+        self.runs = 0
+        self.final_cycles: List[int] = []
+        self._live: Dict[ClockedModule, _LiveStat] = {}
+
+    # ------------------------------------------------------------------
+    # EngineChecker hooks
+
+    def on_add(self, module: ClockedModule, start_cycle: int) -> None:
+        self._live[module] = _LiveStat(start_cycle)
+
+    def on_tick(self, module: ClockedModule, cycle: int, rank: int) -> None:
+        live = self._live.get(module)
+        if live is None:  # attached mid-run: adopt the module now
+            live = self._live[module] = _LiveStat(cycle)
+        if live.first_tick is None:
+            live.first_tick = cycle
+        live.last_tick = cycle
+        live.ticks += 1
+        live.tick_began = perf_counter()
+
+    def on_tick_end(self, module: ClockedModule, cycle: int) -> None:
+        live = self._live.get(module)
+        if live is not None:
+            live.wall += perf_counter() - live.tick_began
+
+    def on_run_end(self, final_cycle: int) -> None:
+        self.runs += 1
+        self.final_cycles.append(final_cycle)
+        for module, live in self._live.items():
+            stats = self.stats.get(module.name)
+            if stats is None:
+                stats = self.stats[module.name] = ModuleStats(module.name)
+            stats.runs += 1
+            stats.ticks += live.ticks
+            stats.wall_seconds += live.wall
+            self.total_dispatches += live.ticks
+            # The module's active window runs from its first scheduled
+            # cycle (or first actual tick, if an early wake preempted it)
+            # to the run's final cycle; every window cycle is either
+            # ticked or skipped.
+            window_start = live.start_cycle
+            if live.first_tick is not None and live.first_tick < window_start:
+                window_start = live.first_tick
+            window = final_cycle - window_start + 1
+            if window < live.ticks:  # start_cycle beyond final (empty run)
+                window = live.ticks
+            stats.skipped_cycles += window - live.ticks
+        self._live.clear()
+
+    # ------------------------------------------------------------------
+    # results
+
+    @property
+    def total_skipped(self) -> int:
+        return sum(s.skipped_cycles for s in self.stats.values())
+
+    @property
+    def total_ticked(self) -> int:
+        return sum(s.ticks for s in self.stats.values())
+
+    def module_stats(self) -> List[ModuleStats]:
+        """Stats sorted by wall time, heaviest first."""
+        return sorted(
+            self.stats.values(), key=lambda s: (-s.wall_seconds, s.name)
+        )

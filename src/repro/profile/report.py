@@ -1,0 +1,136 @@
+"""Profile reports: human-readable tables and machine-readable JSON.
+
+A :class:`ProfileReport` joins a :class:`~repro.profile.profiler.ModuleProfiler`'s
+per-module attribution with the :class:`~repro.simulators.results.SimulationResult`
+of the run it observed (phases, wall-clock split, cycle totals).  The
+``repro profile`` CLI renders it as text; ``--json`` writes
+:meth:`to_json` for tooling and the benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.profile.profiler import ModuleProfiler, ModuleStats
+from repro.simulators.results import SimulationResult
+
+
+class ProfileReport:
+    """Per-module attribution for one profiled simulation."""
+
+    def __init__(
+        self,
+        profiler: ModuleProfiler,
+        result: Optional[SimulationResult] = None,
+    ) -> None:
+        self.profiler = profiler
+        self.result = result
+
+    # ------------------------------------------------------------------
+    # accessors
+
+    @property
+    def modules(self) -> List[ModuleStats]:
+        return self.profiler.module_stats()
+
+    @property
+    def jump_efficiency(self) -> float:
+        """Overall fraction of module-cycles elided by event jumps."""
+        ticked = self.profiler.total_ticked
+        skipped = self.profiler.total_skipped
+        window = ticked + skipped
+        if window <= 0:
+            return 0.0
+        return skipped / window
+
+    # ------------------------------------------------------------------
+    # serialization
+
+    def as_dict(self) -> dict:
+        profiler = self.profiler
+        payload: dict = {
+            "schema": 1,
+            "totals": {
+                "dispatches": profiler.total_dispatches,
+                "ticked_cycles": profiler.total_ticked,
+                "skipped_cycles": profiler.total_skipped,
+                "jump_efficiency": self.jump_efficiency,
+                "engine_runs": profiler.runs,
+            },
+            "modules": [stats.as_dict() for stats in self.modules],
+        }
+        result = self.result
+        if result is not None:
+            payload["run"] = {
+                "app": result.app_name,
+                "simulator": result.simulator_name,
+                "gpu": result.gpu_name,
+                "total_cycles": result.total_cycles,
+                "wall_time_seconds": result.wall_time_seconds,
+                "profile_seconds": result.profile_seconds,
+                "ipc": result.ipc,
+            }
+            payload["phases"] = [
+                {
+                    "name": kernel.name,
+                    "start_cycle": kernel.start_cycle,
+                    "end_cycle": kernel.end_cycle,
+                    "cycles": kernel.cycles,
+                    "instructions": kernel.instructions,
+                }
+                for kernel in result.kernels
+            ]
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    # ------------------------------------------------------------------
+    # text rendering
+
+    def render(self) -> str:
+        lines: List[str] = []
+        result = self.result
+        if result is not None:
+            lines.append(
+                f"profile: {result.app_name} x {result.simulator_name} "
+                f"on {result.gpu_name}"
+            )
+            lines.append(
+                f"  {result.total_cycles} cycles in "
+                f"{result.wall_time_seconds:.3f}s wall "
+                f"(+{result.profile_seconds:.3f}s preprocessing), "
+                f"IPC {result.ipc:.3f}"
+            )
+        profiler = self.profiler
+        lines.append(
+            f"  engine: {profiler.total_dispatches} dispatches over "
+            f"{profiler.runs} run(s); jump efficiency "
+            f"{100.0 * self.jump_efficiency:.1f}% "
+            f"({profiler.total_skipped} cycles skipped, "
+            f"{profiler.total_ticked} ticked)"
+        )
+        lines.append("")
+        total_wall = sum(stats.wall_seconds for stats in self.modules) or 1.0
+        lines.append(
+            f"  {'module':28s} {'ticks':>10s} {'wall':>9s} {'share':>6s} "
+            f"{'skipped':>10s} {'jump-eff':>8s}"
+        )
+        for stats in self.modules:
+            lines.append(
+                f"  {stats.name:28s} {stats.ticks:>10d} "
+                f"{stats.wall_seconds:>8.3f}s "
+                f"{100.0 * stats.wall_seconds / total_wall:>5.1f}% "
+                f"{stats.skipped_cycles:>10d} "
+                f"{100.0 * stats.jump_efficiency:>7.1f}%"
+            )
+        if result is not None and result.kernels:
+            lines.append("")
+            lines.append(f"  {'phase (kernel)':28s} {'cycles':>10s} {'insts':>10s}")
+            for kernel in result.kernels:
+                lines.append(
+                    f"  {kernel.name:28s} {kernel.cycles:>10d} "
+                    f"{kernel.instructions:>10d}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""One-call profiling of an assembled simulator.
+
+:func:`profile_simulation` attaches a fresh
+:class:`~repro.profile.profiler.ModuleProfiler` to a simulator's
+``simulate`` call and returns both the ordinary
+:class:`~repro.simulators.results.SimulationResult` and the
+:class:`~repro.profile.report.ProfileReport` built from it.
+
+Simulators that never clock an engine (the interval model runs a purely
+analytical pass and takes no ``checker``) still get a report — phases
+and wall-clock come from the result; the module table is simply empty.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Tuple
+
+from repro.frontend.trace import ApplicationTrace
+from repro.profile.profiler import ModuleProfiler
+from repro.profile.report import ProfileReport
+from repro.simulators.results import SimulationResult
+
+
+def _accepts_checker(simulate) -> bool:
+    try:
+        parameters = inspect.signature(simulate).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    return "checker" in parameters
+
+
+def profile_simulation(
+    simulator, app: ApplicationTrace, **simulate_kwargs
+) -> Tuple[SimulationResult, ProfileReport]:
+    """Run ``simulator.simulate(app)`` under a module profiler.
+
+    Extra keyword arguments are forwarded to ``simulate`` (e.g.
+    ``gather_metrics=False``).  Returns ``(result, report)``.
+    """
+    profiler = ModuleProfiler()
+    if _accepts_checker(simulator.simulate):
+        result = simulator.simulate(app, checker=profiler, **simulate_kwargs)
+    else:
+        result = simulator.simulate(app, **simulate_kwargs)
+    return result, ProfileReport(profiler, result)

@@ -24,12 +24,32 @@ from __future__ import annotations
 
 import heapq
 from abc import abstractmethod
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.module import Module
+from repro.utils.fastpath import get_fastpaths
 
 _IDLE = -1
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine construction options.
+
+    ``fast_dispatch`` selects the tightened :meth:`Engine.run` loop
+    (hoisted heap locals, inlined rescheduling).  ``None`` defers to the
+    process-wide :func:`repro.utils.fastpath.get_fastpaths` flags at run
+    time; the fast loop is also bypassed automatically whenever a
+    checker is attached, since checkers need the per-tick callbacks.
+    Dispatch order and results are bit-identical either way —
+    ``tests/test_fastpath_equivalence.py`` enforces this.
+    """
+
+    allow_jump: bool = True
+    start_cycle: int = 0
+    fast_dispatch: Optional[bool] = None
 
 
 class EngineChecker:
@@ -55,6 +75,11 @@ class EngineChecker:
 
     def on_tick(self, module: "ClockedModule", cycle: int, rank: int) -> None:
         """``module`` (registration rank ``rank``) is about to tick."""
+
+    def on_tick_end(self, module: "ClockedModule", cycle: int) -> None:
+        """``module`` returned from its tick at ``cycle``.  Paired with
+        :meth:`on_tick`; :mod:`repro.profile` uses the pair to attribute
+        wall-clock time per module."""
 
     def on_run_end(self, final_cycle: int) -> None:
         """:meth:`Engine.run` drained its schedule at ``final_cycle``."""
@@ -84,9 +109,17 @@ class Engine:
     scheduled cycle; superseded heap entries are skipped on pop.
     """
 
-    def __init__(self, allow_jump: bool = True, start_cycle: int = 0) -> None:
-        self.allow_jump = allow_jump
-        self.cycle = start_cycle
+    def __init__(
+        self,
+        allow_jump: bool = True,
+        start_cycle: int = 0,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        if config is None:
+            config = EngineConfig(allow_jump=allow_jump, start_cycle=start_cycle)
+        self.config = config
+        self.allow_jump = config.allow_jump
+        self.cycle = config.start_cycle
         self._heap: List[Tuple[int, int, int, ClockedModule]] = []
         self._seq = 0
         self._scheduled: Dict[ClockedModule, int] = {}
@@ -156,6 +189,25 @@ class Engine:
         ``max_cycles`` is a deadlock backstop: exceeding it raises
         :class:`SimulationError` rather than hanging.
         """
+        fast = self.config.fast_dispatch
+        if fast is None:
+            fast = get_fastpaths().fast_dispatch
+        if fast and self.checker is None:
+            last_cycle = self._run_fast(max_cycles)
+        else:
+            last_cycle = self._run_checked(max_cycles)
+        for module in self._modules:
+            if not module.is_done():
+                raise SimulationError(
+                    f"module {module.name!r} went idle with work outstanding"
+                )
+        self.cycle = last_cycle
+        if self.checker is not None:
+            self.checker.on_run_end(last_cycle)
+        return last_cycle
+
+    def _run_checked(self, max_cycles: int) -> int:
+        """Reference dispatch loop; drives checker callbacks per tick."""
         heap = self._heap
         checker = self.checker
         last_cycle = self.cycle
@@ -173,6 +225,8 @@ class Engine:
             if checker is not None:
                 checker.on_tick(module, cycle, rank)
             next_cycle = module.tick(cycle)
+            if checker is not None:
+                checker.on_tick_end(module, cycle)
             last_cycle = cycle
             if next_cycle is not None:
                 if next_cycle <= cycle:
@@ -181,12 +235,49 @@ class Engine:
                         f"{next_cycle} at cycle {cycle}"
                     )
                 self._schedule(module, next_cycle)
-        for module in self._modules:
-            if not module.is_done():
+        return last_cycle
+
+    def _run_fast(self, max_cycles: int) -> int:
+        """Tightened dispatch loop for the no-checker case.
+
+        Identical heap semantics to :meth:`_run_checked` — same entries,
+        same supersede test, same tie-breaking — with the per-tick method
+        and checker-callback overhead removed: heap primitives and the
+        schedule map are hoisted to locals and the common reschedule
+        (module returns its own next wake cycle) is inlined instead of
+        going through :meth:`_schedule`.  ``self._seq`` is kept coherent
+        every iteration so :meth:`wake` calls made *during* a tick
+        interleave exactly as in the reference loop.
+        """
+        heap = self._heap
+        scheduled = self._scheduled
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        allow_jump = self.allow_jump
+        last_cycle = self.cycle
+        while heap:
+            cycle, rank, __seq, module = heappop(heap)
+            if scheduled.get(module, _IDLE) != cycle:
+                continue  # superseded entry
+            if cycle > max_cycles:
                 raise SimulationError(
-                    f"module {module.name!r} went idle with work outstanding"
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(module {module.name!r} still active; likely deadlock)"
                 )
-        self.cycle = last_cycle
-        if checker is not None:
-            checker.on_run_end(last_cycle)
+            self.cycle = cycle
+            del scheduled[module]
+            next_cycle = module.tick(cycle)
+            last_cycle = cycle
+            if next_cycle is not None:
+                if next_cycle <= cycle:
+                    raise SimulationError(
+                        f"module {module.name!r} returned non-advancing wake cycle "
+                        f"{next_cycle} at cycle {cycle}"
+                    )
+                if not allow_jump and next_cycle > cycle + 1:
+                    next_cycle = cycle + 1
+                seq = self._seq
+                scheduled[module] = next_cycle
+                heappush(heap, (next_cycle, rank, seq, module))
+                self._seq = seq + 1
         return last_cycle

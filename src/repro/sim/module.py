@@ -33,54 +33,73 @@ class Counters:
     counter within modules to collect the desired metrics").
     """
 
-    __slots__ = ("_values", "_kinds")
+    __slots__ = ("_adds", "_peaks")
+
+    # Counters sit on the hottest path in the whole simulator (every
+    # issue, cache access, and queue push increments one), so add/peak
+    # storage is split by kind: the steady-state case is a single dict
+    # lookup plus an in-place update, and the add-vs-peak mixing check
+    # only costs anything the first time a name appears.
 
     def __init__(self) -> None:
-        self._values: Dict[str, int] = {}
-        self._kinds: Dict[str, str] = {}
+        self._adds: Dict[str, int] = {}
+        self._peaks: Dict[str, int] = {}
 
-    def _check_kind(self, name: str, kind: str) -> None:
-        prior = self._kinds.get(name)
-        if prior is None:
-            self._kinds[name] = kind
-        elif prior != kind:
-            raise CounterKindError(
-                f"counter {name!r} already used with {prior}() semantics; "
-                f"mixing {prior}() and {kind}() on one name would produce a "
-                f"meaningless value — use two counter names"
-            )
+    @staticmethod
+    def _kind_error(name: str, prior: str, kind: str) -> CounterKindError:
+        return CounterKindError(
+            f"counter {name!r} already used with {prior}() semantics; "
+            f"mixing {prior}() and {kind}() on one name would produce a "
+            f"meaningless value — use two counter names"
+        )
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount`` (created at zero)."""
-        self._check_kind(name, "add")
-        self._values[name] = self._values.get(name, 0) + amount
+        adds = self._adds
+        if name in adds:
+            adds[name] += amount
+        elif name in self._peaks:
+            raise self._kind_error(name, "peak", "add")
+        else:
+            adds[name] = amount
 
     def peak(self, name: str, value: int) -> None:
         """Track the maximum of ``value`` seen under ``name``."""
-        self._check_kind(name, "peak")
-        current = self._values.get(name)
-        if current is None or value > current:
-            self._values[name] = value
+        peaks = self._peaks
+        current = peaks.get(name)
+        if current is not None:
+            if value > current:
+                peaks[name] = value
+        elif name in self._adds:
+            raise self._kind_error(name, "add", "peak")
+        else:
+            peaks[name] = value
 
     def get(self, name: str, default: int = 0) -> int:
-        return self._values.get(name, default)
+        value = self._adds.get(name)
+        if value is not None:
+            return value
+        return self._peaks.get(name, default)
 
     def as_dict(self) -> Dict[str, int]:
         """Snapshot of all counters."""
-        return dict(self._values)
+        snapshot = dict(self._adds)
+        snapshot.update(self._peaks)
+        return snapshot
 
     def reset(self) -> None:
-        self._values.clear()
-        self._kinds.clear()
+        self._adds.clear()
+        self._peaks.clear()
 
     def __contains__(self, name: str) -> bool:
-        return name in self._values
+        return name in self._adds or name in self._peaks
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._values)
+        yield from self._adds
+        yield from self._peaks
 
     def __repr__(self) -> str:
-        return f"Counters({self._values!r})"
+        return f"Counters({self.as_dict()!r})"
 
 
 class Module:

@@ -91,7 +91,7 @@ class PlanSimulator(GPUSimulator):
     def _build_analytical_memory(self, app: ApplicationTrace) -> List[AnalyticalMemoryModel]:
         """One Eq. 1 model per kernel, profiled with cross-kernel warmth."""
         profiles = MemoryProfile.for_application(
-            self.config, app.kernels, source=self.hit_rate_source
+            self.config, app.kernels, source=self.hit_rate_source, memo_key=app
         )
         return [AnalyticalMemoryModel(self.config, profile) for profile in profiles]
 

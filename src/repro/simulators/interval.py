@@ -86,7 +86,7 @@ class IntervalSimulator(GPUSimulator):
         base = self._unit_latency.get(inst.unit)
         if base is None:
             raise SimulationError(f"no latency for unit {inst.unit.value}")
-        return base * inst.info.latency_factor
+        return base * inst.latency_factor
 
     def profile_warp(self, warp, memory_profile: MemoryProfile) -> WarpIntervalProfile:
         """Walk one warp's trace on an isolated in-order timeline."""
@@ -153,7 +153,7 @@ class IntervalSimulator(GPUSimulator):
         compatibility; analytical models have no counters to gather)."""
         profile_started = time.perf_counter()
         memory_profiles = MemoryProfile.for_application(
-            self.config, app.kernels, source=self.hit_rate_source
+            self.config, app.kernels, source=self.hit_rate_source, memo_key=app
         )
         profile_seconds = time.perf_counter() - profile_started
         started = time.perf_counter()

@@ -37,7 +37,9 @@ Every generator is deterministic in (app, scale).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
+
+from repro.utils.fastpath import get_fastpaths
 
 from repro.errors import WorkloadError
 from repro.frontend.trace import ApplicationTrace, KernelTrace
@@ -46,6 +48,17 @@ from repro.tracegen import kernels as bodies
 
 #: app name -> (suite, factory(scale) -> ApplicationTrace)
 APPLICATIONS: Dict[str, tuple] = {}
+
+#: Memoized :func:`make_app` results under the ``trace_cache`` fast
+#: path.  Generation is deterministic (builder RNG seeds derive from the
+#: app name) and kernels are immutable once built, so re-materializing
+#: an identical trace per simulator or benchmark repetition is pure
+#: allocation cost.  Cache hits return a fresh ApplicationTrace wrapper
+#: (the app object itself is the mutable part: its kernels *list* can
+#: be doctored by tests).  Bounded FIFO so long sweeps cannot hoard
+#: memory.
+_TRACE_MEMO: Dict[Tuple[str, str], ApplicationTrace] = {}
+_TRACE_MEMO_LIMIT = 64
 
 
 def _register(name: str, suite: str):
@@ -64,7 +77,14 @@ def app_names() -> List[str]:
 
 
 def make_app(name: str, scale="small") -> ApplicationTrace:
-    """Build the named application's trace at the given scale."""
+    """Build the named application's trace at the given scale.
+
+    Under the ``trace_cache`` fast path the expensive kernel generation
+    runs once per ``(name, scale)``; each call returns a fresh
+    :class:`ApplicationTrace` wrapper over the shared (immutable) kernel
+    objects, so mutating one caller's ``app.kernels`` list cannot leak
+    into another's.
+    """
     key = name.lower()
     if key not in APPLICATIONS:
         raise WorkloadError(
@@ -72,7 +92,19 @@ def make_app(name: str, scale="small") -> ApplicationTrace:
         )
     suite, factory = APPLICATIONS[key]
     parsed = Scale.parse(scale)
-    return ApplicationTrace(key, factory(parsed), suite=suite)
+    if not get_fastpaths().trace_cache:
+        return ApplicationTrace(key, factory(parsed), suite=suite)
+    memo_key = (key, parsed.value)
+    app = _TRACE_MEMO.get(memo_key)
+    if app is None:
+        app = ApplicationTrace(key, factory(parsed), suite=suite)
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_LIMIT:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[memo_key] = app
+    # Never hand out the canonical memo entry itself — a caller mutating
+    # its kernels *list* (tests do, to build poisoned inputs) must not
+    # corrupt the cache.  The wrapper shares the immutable kernels.
+    return ApplicationTrace(app.name, app.kernels, suite=app.suite)
 
 
 def _kernel(name, blocks, warps, body, smem=0, regs=32) -> KernelTrace:

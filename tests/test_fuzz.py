@@ -137,13 +137,15 @@ class _FuzzNode(ClockedModule):
         return not self.pending
 
 
-def _run_fuzz_graph(seed, allow_jump, strict_sanitize=False):
+def _run_fuzz_graph(seed, allow_jump, strict_sanitize=False, checker=None):
     """Build a random node graph from ``seed`` and run it to completion."""
     rng = random.Random(derive_seed("fuzz-graph", seed))
     log = []
     engine = Engine(allow_jump=allow_jump)
     if strict_sanitize:
         engine.attach_checker(EngineSanitizer(strict=True))
+    elif checker is not None:
+        engine.attach_checker(checker)
     nodes = [
         _FuzzNode(
             f"n{i}",
@@ -181,6 +183,38 @@ class TestEngineClockingFuzz:
         # violation, so plain completion is the assertion.
         for allow_jump in (True, False):
             _run_fuzz_graph(seed, allow_jump, strict_sanitize=True)
+
+    @given(st.integers(0, 2**32 - 1), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_profiler_attribution_conserves_cycles(self, seed, allow_jump):
+        """Cycle-attribution accounting on random topologies: per module,
+        ticked + skipped cycles exactly tile the module's active window
+        (no double-counted, no lost cycles), and the per-module tick
+        counts sum to the engine's dispatch total."""
+        from repro.profile import ModuleProfiler
+
+        dispatches = []  # independent of the profiler's own bookkeeping
+
+        class CountingProfiler(ModuleProfiler):
+            def on_tick(self, module, cycle, rank):
+                dispatches.append((module.name, cycle))
+                super().on_tick(module, cycle, rank)
+
+        profiler = CountingProfiler()
+        final_cycle, log = _run_fuzz_graph(seed, allow_jump, checker=profiler)
+        plain_final, plain_log = _run_fuzz_graph(seed, allow_jump)
+        # Observing must not perturb: identical run with and without it.
+        assert final_cycle == plain_final
+        assert log == plain_log
+        assert profiler.total_dispatches == len(dispatches)
+        assert profiler.total_ticked == sum(
+            stats.ticks for stats in profiler.stats.values()
+        ) == len(dispatches)
+        # All fuzz nodes are added at engine start (cycle 0), so every
+        # module's window is [0, final_cycle].
+        for stats in profiler.stats.values():
+            assert stats.ticks + stats.skipped_cycles == final_cycle + 1, stats.name
+            assert 0.0 <= stats.jump_efficiency <= 1.0
 
     def test_derive_seed_is_stable_across_processes(self):
         # Literal value locks the FNV-1a derivation: seeds must not depend

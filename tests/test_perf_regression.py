@@ -1,0 +1,242 @@
+"""Perf-regression gate + unit tests for :mod:`repro.profile.bench`.
+
+The gate re-runs the committed tiny-scale macro benchmarks and compares
+wall-clock against ``benchmarks/baseline_bench.json`` within a relative
+tolerance (default ±30%, override with ``REPRO_BENCH_TOLERANCE`` — CI's
+shared runners use a loose one).  Cycle counts are compared exactly:
+they are deterministic, so any drift is a correctness bug, not noise.
+A failing comparison prints the per-module attribution diff so the
+regressed module is named in the failure, not hunted afterwards.
+
+The gate skips when no baseline is committed (fresh clones of a subset,
+baseline intentionally removed) and when the baseline was recorded on a
+different machine (wall-clock is only comparable on the recording host);
+the cycle comparison runs regardless.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.profile import (
+    DEFAULT_TOLERANCE,
+    bench_tolerance,
+    build_baseline,
+    compare_to_baseline,
+    load_baseline,
+    machine_info,
+    run_macro_benchmark,
+    select_bench_apps,
+    write_bench_artifact,
+)
+from repro.tracegen.suites import app_names
+
+BASELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "baseline_bench.json"
+
+
+# ----------------------------------------------------------------------
+# the gate
+
+
+def _macro_baseline():
+    baseline = load_baseline(BASELINE_PATH)
+    if baseline is None:
+        pytest.skip(f"no committed benchmark baseline at {BASELINE_PATH}")
+    if not baseline["macro"]:
+        pytest.skip("baseline has no macro benchmark records")
+    return baseline
+
+
+def test_macro_benchmarks_within_tolerance():
+    baseline = _macro_baseline()
+    same_machine = (
+        baseline.get("machine", {}).get("platform")
+        == machine_info()["platform"]
+    )
+    tolerance = bench_tolerance()
+    failures = []
+    for key, record in baseline["macro"].items():
+        current = run_macro_benchmark(
+            record["simulator"], record["app"], record["scale"],
+            repeats=3,
+        )
+        violations = compare_to_baseline(current, record, tolerance=tolerance)
+        if not same_machine:
+            # Cross-machine: wall-clock is incomparable; keep only the
+            # (machine-independent) cycle violations.
+            violations = [v for v in violations if "cycle count" in v]
+        failures.extend(violations)
+    assert not failures, (
+        "perf gate tripped (tolerance +/-%.0f%%):\n%s"
+        % (100 * tolerance, "\n".join(failures))
+    )
+
+
+def test_baseline_schema():
+    baseline = _macro_baseline()
+    assert baseline["schema"] == 1
+    for key, record in baseline["macro"].items():
+        assert record["key"] == key
+        assert record["cycles"] > 0
+        assert record["wall_seconds"] > 0
+        assert 0.0 <= record["jump_efficiency"] <= 1.0
+        assert record["modules"], key
+
+
+# ----------------------------------------------------------------------
+# comparison machinery (no baseline file needed)
+
+
+def _record(**overrides):
+    base = {
+        "key": "swift-basic/gemm/tiny",
+        "cycles": 1000,
+        "wall_seconds": 1.0,
+        "modules": {
+            "sm0": {"ticks": 100, "wall_seconds": 0.6, "skipped_cycles": 900},
+            "sm1": {"ticks": 100, "wall_seconds": 0.4, "skipped_cycles": 900},
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+def test_compare_within_tolerance_passes():
+    assert compare_to_baseline(
+        _record(wall_seconds=1.2), _record(), tolerance=0.30
+    ) == []
+
+
+def test_compare_slowdown_fails_with_attribution():
+    modules = {
+        "sm0": {"ticks": 100, "wall_seconds": 1.3, "skipped_cycles": 900},
+        "sm1": {"ticks": 100, "wall_seconds": 0.4, "skipped_cycles": 900},
+    }
+    violations = compare_to_baseline(
+        _record(wall_seconds=1.7, modules=modules), _record(), tolerance=0.30
+    )
+    assert len(violations) == 1
+    message = violations[0]
+    assert "1.70x" in message and "slower" in message
+    # Attribution diff present, regressed module first.
+    lines = [line for line in message.splitlines() if line.startswith("    sm")]
+    assert lines[0].lstrip().startswith("sm0")
+    assert "+0.7000s" in lines[0]
+
+
+def test_compare_large_speedup_also_fails():
+    violations = compare_to_baseline(
+        _record(wall_seconds=0.4), _record(), tolerance=0.30
+    )
+    assert len(violations) == 1
+    assert "faster" in violations[0]
+    assert "refresh the" in violations[0]
+
+
+def test_compare_cycle_drift_is_always_a_violation():
+    violations = compare_to_baseline(
+        _record(cycles=1001), _record(), tolerance=10.0
+    )
+    assert any("cycle count changed" in v for v in violations)
+
+
+def test_tolerance_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_TOLERANCE", raising=False)
+    assert bench_tolerance() == DEFAULT_TOLERANCE
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.55")
+    assert bench_tolerance() == 0.55
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "bogus")
+    with pytest.raises(WorkloadError):
+        bench_tolerance()
+    monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "-1")
+    with pytest.raises(WorkloadError):
+        bench_tolerance()
+
+
+def test_load_baseline_absent_returns_none(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") is None
+
+
+def test_load_baseline_rejects_non_baseline(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text(json.dumps({"not": "a baseline"}))
+    with pytest.raises(WorkloadError):
+        load_baseline(path)
+
+
+def test_build_and_load_roundtrip(tmp_path):
+    document = build_baseline({"k": _record(key="k")}, extra={"note": "x"})
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(document))
+    loaded = load_baseline(path)
+    assert loaded["macro"]["k"]["cycles"] == 1000
+    assert loaded["note"] == "x"
+    assert loaded["machine"]["platform"] == machine_info()["platform"]
+
+
+# ----------------------------------------------------------------------
+# benchmark app selection (the REPRO_BENCH_APPS bugfix)
+
+
+def test_select_bench_apps_default_is_full_registry():
+    assert select_bench_apps(None) == list(app_names())
+    assert select_bench_apps("") == list(app_names())
+
+
+def test_select_bench_apps_parses_comma_string():
+    assert select_bench_apps(" gemm, bfs ,") == ["gemm", "bfs"]
+    assert select_bench_apps(["sm", "nw"]) == ["sm", "nw"]
+
+
+def test_select_bench_apps_unknown_name_raises_listing_known():
+    """Regression: a typo in REPRO_BENCH_APPS used to flow through to a
+    silently empty (and trivially green) benchmark session.  It must be
+    a loud error that names the unknown app and the known ones."""
+    with pytest.raises(WorkloadError) as excinfo:
+        select_bench_apps("gemm,bsf")
+    message = str(excinfo.value)
+    assert "bsf" in message
+    assert "gemm" in message  # the known-apps list is included
+
+
+def test_bench_conftest_uses_strict_selection(monkeypatch):
+    """The benchmarks/ session must go through select_bench_apps."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest",
+        Path(__file__).parent.parent / "benchmarks" / "conftest.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setenv("REPRO_BENCH_APPS", "gemm,definitely-not-an-app")
+    with pytest.raises(WorkloadError):
+        module.bench_apps()
+    monkeypatch.setenv("REPRO_BENCH_APPS", "gemm,bfs")
+    assert module.bench_apps() == ["gemm", "bfs"]
+    monkeypatch.delenv("REPRO_BENCH_APPS")
+    assert module.bench_apps() == list(app_names())
+
+
+# ----------------------------------------------------------------------
+# artifacts
+
+
+def test_write_bench_artifact(tmp_path):
+    path = write_bench_artifact("fig4 speedup", {"x": 1}, directory=tmp_path)
+    assert path == tmp_path / "BENCH_fig4_speedup.json"
+    assert json.loads(path.read_text()) == {"x": 1}
+
+
+def test_write_bench_artifact_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "sub"))
+    path = write_bench_artifact("smoke", {"ok": True})
+    assert path.parent == tmp_path / "sub"
+    assert path.name == "BENCH_smoke.json"
+
+
+def test_write_bench_artifact_empty_name_rejected(tmp_path):
+    with pytest.raises(WorkloadError):
+        write_bench_artifact("///", {}, directory=tmp_path)
