@@ -3,7 +3,7 @@
 Swift-Sim's speedups are *exactness claims*: clock jumping and hybrid
 modules must agree with per-cycle, cycle-accurate execution wherever
 their plans coincide.  This package turns those claims into
-machine-checked invariants, in six pillars:
+machine-checked invariants, in seven pillars:
 
 1. :class:`~repro.check.sanitizer.EngineSanitizer` — runtime checker
    hooks on the engine (monotonic ticks, stable same-cycle ordering, no
@@ -24,7 +24,13 @@ machine-checked invariants, in six pillars:
 6. :func:`~repro.check.static.static_check` — the :mod:`repro.analyze`
    framework-contract linter run as a pillar: the package's own source
    must pass the interface/determinism/wiring/sweep-safety rules (see
-   ``docs/static-analysis.md``).
+   ``docs/static-analysis.md``);
+7. :func:`~repro.check.guard.guard_check` — :mod:`repro.guard` runs
+   (watchdog + invariant guards + checkpoints armed) must be
+   bit-identical to unguarded runs, a run killed at its first
+   checkpoint and resumed must be bit-identical to an uninterrupted
+   one, and injected saboteurs must be detected with forensic bundles
+   (see ``docs/robustness-guard.md``).
 
 ``repro check`` (see :mod:`repro.cli`) drives all of this from the
 command line and emits a machine-readable JSON report; see
@@ -37,6 +43,7 @@ from repro.check.differential import (
     SLOT_EXACT_COUNTERS,
     differential_check,
 )
+from repro.check.guard import guard_check
 from repro.check.report import CheckFinding, CheckReport
 from repro.check.resilience import resilience_check
 from repro.check.runner import MODES, run_checks, select_apps
@@ -54,6 +61,7 @@ __all__ = [
     "TICK_OBSERVER_COUNTERS",
     "determinism_check",
     "differential_check",
+    "guard_check",
     "resilience_check",
     "run_checks",
     "select_apps",

@@ -1,0 +1,368 @@
+"""Guard verification: guarded, interrupted, and resumed runs are exact.
+
+``repro.guard`` promises three things this pillar turns into
+machine-checked contracts (see ``docs/robustness-guard.md``):
+
+* **transparency** — a run with the watchdog, invariant guards, and
+  periodic checkpointer armed must be *bit-identical* (cycles, kernels,
+  instructions, every counter) to the same run unguarded: observation
+  must not perturb the model;
+* **kill-and-resume** — a run interrupted right after its first
+  checkpoint (:class:`~repro.errors.SimulationInterrupted`, the
+  deterministic stand-in for a SIGKILL) and restarted with
+  ``auto_resume`` must finish bit-identical to an uninterrupted run —
+  on *every* simulator, including the cycle-accurate
+  ``AccelSimLike`` baseline whose long runs are the whole point;
+* **detection** — a synthetically wedged engine (the
+  :class:`~repro.guard.StallSaboteur`) must be caught within the stall
+  window with the saboteur named in the diagnosis, and a corrupted
+  module (:class:`~repro.guard.InvariantSaboteur`) must trip the
+  invariant guards; both must leave a forensic bundle behind.
+
+A torn-checkpoint scenario rounds it out: when the only checkpoint on
+disk is truncated mid-write, resume must fall back to a clean
+from-scratch run — degraded, never wrong.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence, Type
+
+from repro.errors import (
+    InvariantViolation,
+    SimulationInterrupted,
+    SimulationStall,
+)
+from repro.frontend.config import GPUConfig
+from repro.guard import GuardConfig, SimulationGuard, list_checkpoints
+from repro.simulators.base import PlanSimulator
+from repro.simulators.results import SimulationResult
+from repro.tracegen.suites import make_app
+from repro.check.report import CheckFinding, info, violation
+from repro.check.shadow import compare_results
+
+_CHECK = "guard"
+
+#: Bit-exactness means *nothing* is ignored — guarded runs must match
+#: every counter, not just the tick-observer-independent ones.
+NOTHING_IGNORED: frozenset = frozenset()
+
+#: Checkpoint cadence for the kill-and-resume scenario: early enough
+#: that tiny-scale runs cross at least one boundary, late enough that
+#: the interrupted run has real state to snapshot.
+CHECKPOINT_EVERY = 500
+
+#: Watchdog settings for the stall-detection scenario: a short window so
+#: the wedged engine is caught quickly, checked at a fine cadence.
+STALL_WINDOW = 2_000
+CHECK_EVERY = 64
+
+
+def _run(
+    simulator_cls: Type[PlanSimulator],
+    config: GPUConfig,
+    app,
+    guard: Optional[SimulationGuard] = None,
+) -> SimulationResult:
+    return simulator_cls(config).simulate(app, guard=guard)
+
+
+def _check_guard_transparency(
+    simulator_cls: Type[PlanSimulator],
+    config: GPUConfig,
+    app,
+    baseline: SimulationResult,
+    workdir: Path,
+) -> List[CheckFinding]:
+    """Watchdog + invariants + checkpoints armed: still bit-identical."""
+    simulator_name = simulator_cls(config).name
+    subject = f"{simulator_name} x {app.name} [guarded]"
+    ckpt_dir = workdir / f"transparency_{simulator_name}_{app.name}"
+    guard = SimulationGuard(
+        GuardConfig(
+            watchdog=True,
+            invariants=True,
+            check_every=CHECK_EVERY,
+            stall_window=STALL_WINDOW,
+            checkpoint_every=CHECKPOINT_EVERY,
+            checkpoint_dir=str(ckpt_dir),
+        ),
+        app_name=app.name,
+        simulator_name=simulator_name,
+        gpu_config=config,
+    )
+    guarded = _run(simulator_cls, config, app, guard=guard)
+    findings = compare_results(subject, baseline, guarded,
+                               ignore_counters=NOTHING_IGNORED,
+                               check=_CHECK)
+    if not findings:
+        findings.append(info(
+            _CHECK, subject,
+            f"guarded run bit-identical to unguarded "
+            f"({guard.checkpoints_written} checkpoints written)",
+        ))
+    return findings
+
+
+def _check_kill_and_resume(
+    simulator_cls: Type[PlanSimulator],
+    config: GPUConfig,
+    app,
+    baseline: SimulationResult,
+    workdir: Path,
+) -> List[CheckFinding]:
+    """Interrupt at the first checkpoint, resume, demand bit-identity."""
+    simulator_name = simulator_cls(config).name
+    subject = f"{simulator_name} x {app.name} [kill+resume]"
+    ckpt_dir = workdir / f"resume_{simulator_name}_{app.name}"
+    template = GuardConfig(
+        checkpoint_every=CHECKPOINT_EVERY,
+        checkpoint_dir=str(ckpt_dir),
+    )
+    kill_guard = SimulationGuard(
+        template.with_(stop_after_checkpoints=1),
+        app_name=app.name,
+        simulator_name=simulator_name,
+        gpu_config=config,
+    )
+    try:
+        _run(simulator_cls, config, app, guard=kill_guard)
+    except SimulationInterrupted as exc:
+        interrupted_at = exc.cycle
+    else:
+        return [violation(
+            _CHECK, subject,
+            f"run finished without hitting a checkpoint boundary "
+            f"(checkpoint_every={CHECKPOINT_EVERY}); cannot exercise "
+            f"kill-and-resume",
+        )]
+    resume_guard = SimulationGuard(
+        template,
+        app_name=app.name,
+        simulator_name=simulator_name,
+        gpu_config=config,
+        auto_resume=True,
+    )
+    resumed = _run(simulator_cls, config, app, guard=resume_guard)
+    findings = compare_results(subject, baseline, resumed,
+                               ignore_counters=NOTHING_IGNORED,
+                               check=_CHECK)
+    if not findings:
+        findings.append(info(
+            _CHECK, subject,
+            f"killed at cycle {interrupted_at}, resumed run "
+            f"bit-identical to uninterrupted run",
+        ))
+    return findings
+
+
+def _check_torn_checkpoint(
+    simulator_cls: Type[PlanSimulator],
+    config: GPUConfig,
+    app,
+    baseline: SimulationResult,
+    workdir: Path,
+) -> List[CheckFinding]:
+    """A truncated checkpoint must degrade to a clean from-scratch run."""
+    simulator_name = simulator_cls(config).name
+    subject = f"{simulator_name} x {app.name} [torn checkpoint]"
+    ckpt_dir = workdir / f"torn_{simulator_name}_{app.name}"
+    template = GuardConfig(
+        checkpoint_every=CHECKPOINT_EVERY,
+        checkpoint_dir=str(ckpt_dir),
+        keep_checkpoints=1,
+    )
+    kill_guard = SimulationGuard(
+        template.with_(stop_after_checkpoints=1),
+        app_name=app.name,
+        simulator_name=simulator_name,
+        gpu_config=config,
+    )
+    try:
+        _run(simulator_cls, config, app, guard=kill_guard)
+    except SimulationInterrupted:
+        pass
+    checkpoints = list_checkpoints(ckpt_dir)
+    if not checkpoints:
+        return [violation(
+            _CHECK, subject, "interrupted run left no checkpoint on disk",
+        )]
+    # Tear the only checkpoint mid-payload, the way a crash during the
+    # (non-atomic-on-all-filesystems) write would.
+    torn = checkpoints[-1]
+    data = torn.read_bytes()
+    torn.write_bytes(data[: max(1, len(data) // 2)])
+    resume_guard = SimulationGuard(
+        template,
+        app_name=app.name,
+        simulator_name=simulator_name,
+        gpu_config=config,
+        auto_resume=True,
+    )
+    resumed = _run(simulator_cls, config, app, guard=resume_guard)
+    findings = compare_results(subject, baseline, resumed,
+                               ignore_counters=NOTHING_IGNORED,
+                               check=_CHECK)
+    if not findings:
+        findings.append(info(
+            _CHECK, subject,
+            "torn checkpoint skipped; fell back to a clean run, "
+            "bit-identical to baseline",
+        ))
+    return findings
+
+
+def _check_stall_detection(
+    simulator_cls: Type[PlanSimulator],
+    config: GPUConfig,
+    app,
+    workdir: Path,
+) -> List[CheckFinding]:
+    """A wedged engine must raise SimulationStall naming the saboteur."""
+    simulator_name = simulator_cls(config).name
+    subject = f"{simulator_name} x {app.name} [stall saboteur]"
+    bundle_dir = workdir / f"stall_{simulator_name}_{app.name}"
+    guard = SimulationGuard(
+        GuardConfig(
+            watchdog=True,
+            stall_window=STALL_WINDOW,
+            check_every=CHECK_EVERY,
+            bundle_dir=str(bundle_dir),
+            inject=("stall",),
+        ),
+        app_name=app.name,
+        simulator_name=simulator_name,
+        gpu_config=config,
+    )
+    try:
+        _run(simulator_cls, config, app, guard=guard)
+    except SimulationStall as exc:
+        findings: List[CheckFinding] = []
+        suspects = list(exc.diagnosis.get("suspects", []))
+        if "stall_saboteur" not in suspects:
+            findings.append(violation(
+                _CHECK, subject,
+                f"watchdog fired but diagnosis names {suspects}, "
+                f"not the injected saboteur",
+            ))
+        if not guard.bundles:
+            findings.append(violation(
+                _CHECK, subject,
+                "stall detected but no forensic bundle was written",
+            ))
+        if not findings:
+            findings.append(info(
+                _CHECK, subject,
+                f"stall detected at cycle {exc.cycle}, suspects "
+                f"{suspects}, bundle at {guard.bundles[0]}",
+            ))
+        return findings
+    return [violation(
+        _CHECK, subject,
+        f"injected stall saboteur was never detected "
+        f"(stall_window={STALL_WINDOW})",
+    )]
+
+
+def _check_invariant_detection(
+    simulator_cls: Type[PlanSimulator],
+    config: GPUConfig,
+    app,
+    workdir: Path,
+) -> List[CheckFinding]:
+    """A corrupted module must trip the invariant guards with a bundle."""
+    simulator_name = simulator_cls(config).name
+    subject = f"{simulator_name} x {app.name} [invariant saboteur]"
+    bundle_dir = workdir / f"invariant_{simulator_name}_{app.name}"
+    guard = SimulationGuard(
+        GuardConfig(
+            invariants=True,
+            check_every=CHECK_EVERY,
+            bundle_dir=str(bundle_dir),
+            inject=("violation",),
+        ),
+        app_name=app.name,
+        simulator_name=simulator_name,
+        gpu_config=config,
+    )
+    try:
+        _run(simulator_cls, config, app, guard=guard)
+    except InvariantViolation as exc:
+        findings: List[CheckFinding] = []
+        if exc.module_name != "invariant_saboteur":
+            findings.append(violation(
+                _CHECK, subject,
+                f"invariant guard fired but blamed {exc.module_name!r}, "
+                f"not the injected saboteur",
+            ))
+        if not guard.bundles:
+            findings.append(violation(
+                _CHECK, subject,
+                "violation detected but no forensic bundle was written",
+            ))
+        if not findings:
+            findings.append(info(
+                _CHECK, subject,
+                f"violation detected at cycle {exc.cycle} in "
+                f"{exc.module_name}, bundle at {guard.bundles[0]}",
+            ))
+        return findings
+    return [violation(
+        _CHECK, subject,
+        "injected invariant saboteur was never detected",
+    )]
+
+
+def guard_check(
+    config: GPUConfig,
+    app_names: Sequence[str],
+    scale: str = "tiny",
+    simulator_classes: Optional[Sequence[Type[PlanSimulator]]] = None,
+    progress=None,
+) -> List[CheckFinding]:
+    """Run every guard scenario over the (simulator, app) grid.
+
+    Transparency and kill-and-resume run on the full cross product —
+    the resume contract explicitly includes the cycle-accurate baseline.
+    The detection and torn-checkpoint scenarios run once per simulator
+    (on the first app): they test the guard machinery, not the workload.
+    """
+    if simulator_classes is None:
+        from repro.simulators.accel_like import AccelSimLike
+        from repro.simulators.swift_basic import SwiftSimBasic
+        from repro.simulators.swift_memory import SwiftSimMemory
+
+        simulator_classes = [AccelSimLike, SwiftSimBasic, SwiftSimMemory]
+    findings: List[CheckFinding] = []
+
+    def step(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    with tempfile.TemporaryDirectory(prefix="repro-guard-check-") as tmp:
+        workdir = Path(tmp)
+        for simulator_cls in simulator_classes:
+            simulator_name = simulator_cls(config).name
+            for position, name in enumerate(app_names):
+                app = make_app(name, scale=scale)
+                baseline = _run(simulator_cls, config, app)
+                findings.extend(_check_guard_transparency(
+                    simulator_cls, config, app, baseline, workdir,
+                ))
+                findings.extend(_check_kill_and_resume(
+                    simulator_cls, config, app, baseline, workdir,
+                ))
+                if position == 0:
+                    findings.extend(_check_torn_checkpoint(
+                        simulator_cls, config, app, baseline, workdir,
+                    ))
+                    findings.extend(_check_stall_detection(
+                        simulator_cls, config, app, workdir,
+                    ))
+                    findings.extend(_check_invariant_detection(
+                        simulator_cls, config, app, workdir,
+                    ))
+                step(f"guard {simulator_name} x {name}")
+    return findings

@@ -16,6 +16,7 @@ from repro.simulators.base import PlanSimulator
 from repro.tracegen.suites import APPLICATIONS, app_names, make_app
 from repro.check.determinism import determinism_check
 from repro.check.differential import DEFAULT_TOLERANCE, differential_check
+from repro.check.guard import guard_check
 from repro.check.report import CheckReport, info
 from repro.check.resilience import resilience_check
 from repro.check.sanitizer import EngineSanitizer
@@ -25,7 +26,7 @@ from repro.check.static import static_check
 #: The verification modes ``repro check`` accepts.
 MODES = (
     "shadow-jump", "differential", "determinism", "sanitize",
-    "resilience", "static", "all",
+    "resilience", "static", "guard", "all",
 )
 
 
@@ -158,4 +159,14 @@ def run_checks(
         report.extend(static_check())
         report.checks_run += 1
         step("static")
+    if mode in ("guard", "all"):
+        # Guarded-run transparency + kill-and-resume on every simulator
+        # (the resume contract explicitly covers the cycle-accurate
+        # baseline), plus stall/invariant detection scenarios.
+        report.extend(guard_check(
+            config, names, scale=scale, simulator_classes=classes,
+            progress=progress,
+        ))
+        report.checks_run += len(names) * len(classes)
+        step("guard")
     return report

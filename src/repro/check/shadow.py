@@ -46,17 +46,24 @@ TICK_OBSERVER_COUNTERS = frozenset({
 _CHECK = "shadow-jump"
 
 
-def _compare_results(
+def compare_results(
     subject: str,
     primary: SimulationResult,
     shadow: SimulationResult,
     ignore_counters: frozenset = TICK_OBSERVER_COUNTERS,
+    check: str = _CHECK,
 ) -> List[CheckFinding]:
-    """Findings for any observable difference between two runs."""
+    """Findings for any observable difference between two runs.
+
+    Shared bit-identity comparator: the shadow-jump pillar (its home),
+    the guard pillar, and the fast-path equivalence tests all reduce to
+    "these two runs must agree on everything" — ``check`` tags whose
+    contract a difference violates.
+    """
     findings: List[CheckFinding] = []
     if primary.total_cycles != shadow.total_cycles:
         findings.append(violation(
-            _CHECK, subject,
+            check, subject,
             f"final cycle differs: jump={primary.total_cycles} "
             f"per-cycle={shadow.total_cycles}",
         ))
@@ -64,12 +71,12 @@ def _compare_results(
     b_kernels = [(k.name, k.start_cycle, k.end_cycle) for k in shadow.kernels]
     if a_kernels != b_kernels:
         findings.append(violation(
-            _CHECK, subject,
+            check, subject,
             f"per-kernel cycles differ: {a_kernels} vs {b_kernels}",
         ))
     if primary.instructions != shadow.instructions:
         findings.append(violation(
-            _CHECK, subject,
+            check, subject,
             f"committed instructions differ: {primary.instructions} "
             f"vs {shadow.instructions}",
         ))
@@ -86,11 +93,16 @@ def _compare_results(
                 b_value = b_counters.get(counter, 0)
                 if a_value != b_value:
                     findings.append(violation(
-                        _CHECK, subject,
+                        check, subject,
                         f"counter {module}.{counter} differs: "
                         f"{a_value} vs {b_value}",
                     ))
     return findings
+
+
+
+#: Backwards-compatible alias (pre-public name).
+_compare_results = compare_results
 
 
 def shadow_jump_check(

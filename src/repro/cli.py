@@ -16,6 +16,10 @@ Everything a downstream user needs without writing Python::
     python -m repro check    --mode shadow-jump --suite rodinia
     python -m repro eval     --apps bfs,gemm --journal sweep.journal
     python -m repro eval     --resume sweep.journal
+    python -m repro guard    --app bfs --simulator accel-like \\
+                             --checkpoint-dir ckpts --checkpoint-every 5000
+    python -m repro guard    --app bfs --simulator accel-like \\
+                             --checkpoint-dir ckpts --resume
     python -m repro chaos    --smoke
     python -m repro lint     src --fail-on error
 
@@ -67,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
     def add_common(sub, with_simulator=True):
         sub.add_argument("--app", help="application name (see `repro apps`)")
         sub.add_argument("--trace", help="path to a trace file (instead of --app)")
+        sub.add_argument(
+            "--skip-corrupt-kernels", action="store_true",
+            help="with --trace: drop kernels with corrupt bodies instead "
+                 "of failing the whole load (degraded-but-running)",
+        )
         sub.add_argument("--gpu", default="rtx2080ti", help="GPU preset name")
         sub.add_argument("--config", help="path to a GPU config JSON (instead of --gpu)")
         sub.add_argument("--scale", default="small", help="workload scale for --app")
@@ -202,6 +211,80 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted sweep from its journal "
              "(implies --journal JOURNAL)",
     )
+    evaluate.add_argument(
+        "--guard-dir", metavar="DIR",
+        help="arm the in-simulation guard with per-(app, simulator) "
+             "checkpoint directories under DIR; pairs with an intact "
+             "checkpoint resume mid-kernel",
+    )
+    evaluate.add_argument(
+        "--checkpoint-every", type=int, default=5000,
+        help="cycles between mid-run checkpoints (with --guard-dir)",
+    )
+
+    guard_cmd = commands.add_parser(
+        "guard",
+        help="simulate one application under the in-run guard: progress "
+             "watchdog, invariant checks, and checkpoint/restore",
+    )
+    add_common(guard_cmd)
+    guard_cmd.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write periodic mid-run checkpoints into DIR",
+    )
+    guard_cmd.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="CYCLES",
+        help="cycles between checkpoints (requires --checkpoint-dir)",
+    )
+    guard_cmd.add_argument(
+        "--keep-checkpoints", type=int, default=2,
+        help="how many checkpoints to retain (older ones are pruned)",
+    )
+    guard_cmd.add_argument(
+        "--resume", action="store_true",
+        help="restore the newest intact checkpoint in --checkpoint-dir "
+             "and continue to completion",
+    )
+    guard_cmd.add_argument(
+        "--stop-after-checkpoints", type=int, default=0, metavar="N",
+        help="interrupt the run right after the N-th checkpoint "
+             "(deterministic kill, for testing resume)",
+    )
+    guard_cmd.add_argument(
+        "--no-watchdog", action="store_true",
+        help="disable the progress watchdog",
+    )
+    guard_cmd.add_argument(
+        "--no-invariants", action="store_true",
+        help="disable the runtime invariant checks",
+    )
+    guard_cmd.add_argument(
+        "--stall-window", type=int, default=20_000,
+        help="cycles without forward progress before the watchdog "
+             "declares a stall",
+    )
+    guard_cmd.add_argument(
+        "--check-every", type=int, default=256,
+        help="cycle cadence of watchdog/invariant checks",
+    )
+    guard_cmd.add_argument(
+        "--bundle-dir", metavar="DIR",
+        help="write forensic bundles (module dumps, trace window) here "
+             "when the watchdog or an invariant fires",
+    )
+    guard_cmd.add_argument(
+        "--trace-window", type=int, default=64,
+        help="trailing engine events kept for the forensic bundle",
+    )
+    guard_cmd.add_argument(
+        "--inject", action="append", choices=("stall", "violation"),
+        help="inject a saboteur module (repeatable; for testing "
+             "detection end-to-end)",
+    )
+    guard_cmd.add_argument(
+        "--inject-at", type=int, default=0,
+        help="cycle at which injected saboteurs activate",
+    )
 
     chaos = commands.add_parser(
         "chaos",
@@ -223,6 +306,13 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-rate", type=float, default=0.30)
     chaos.add_argument("--hang-rate", type=float, default=0.10)
     chaos.add_argument("--corrupt-rate", type=float, default=0.05)
+    chaos.add_argument("--stall-rate", type=float, default=0.0,
+                       help="probability of wedging the model with a "
+                            "stall saboteur (caught by the in-run "
+                            "watchdog, not the supervisor)")
+    chaos.add_argument("--violation-rate", type=float, default=0.0,
+                       help="probability of corrupting a module so the "
+                            "runtime invariant guards must fire")
     chaos.add_argument("--hang-seconds", type=float, default=12.0,
                        help="injected hang duration (above --timeout "
                             "models a true hang)")
@@ -283,7 +373,10 @@ def _resolve_gpu(args):
 
 def _resolve_app(args):
     if getattr(args, "trace", None):
-        return load_trace(args.trace)
+        return load_trace(
+            args.trace,
+            skip_corrupt_kernels=getattr(args, "skip_corrupt_kernels", False),
+        )
     if not getattr(args, "app", None):
         raise SwiftSimError("either --app or --trace is required")
     return make_app(args.app, scale=args.scale)
@@ -504,12 +597,23 @@ def _cmd_eval(args) -> None:
             f"unknown simulator(s) {unknown}; known: {sorted(SIMULATORS)}"
         )
     simulators = {name: SIMULATORS[name](gpu) for name in sim_names}
+    guard = None
+    if args.guard_dir:
+        from repro.guard import GuardConfig
+
+        guard = GuardConfig(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.guard_dir,
+        )
+        print(f"guard: checkpoint every {args.checkpoint_every} cycles "
+              f"under {args.guard_dir} (intact checkpoints auto-resume)")
     harness = EvaluationHarness(gpu, scale=args.scale, apps=_apps_arg(args))
     try:
         suite = harness.evaluate(
             simulators,
             failure_policy=args.failure_policy,
             journal=journal,
+            guard=guard,
         )
     finally:
         if journal is not None:
@@ -519,6 +623,65 @@ def _cmd_eval(args) -> None:
     if journal_path:
         print(f"journal: {journal_path} "
               f"({len(journal)} completed triple(s))")
+
+
+def _cmd_guard(args) -> None:
+    from repro.errors import SimulationInterrupted
+    from repro.guard import GuardConfig, SimulationGuard
+
+    gpu = _resolve_gpu(args)
+    app = _resolve_app(args)
+    simulator = SIMULATORS[args.simulator](gpu)
+    config = GuardConfig(
+        watchdog=not args.no_watchdog,
+        invariants=not args.no_invariants,
+        stall_window=args.stall_window,
+        check_every=args.check_every,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir or "",
+        keep_checkpoints=args.keep_checkpoints,
+        stop_after_checkpoints=args.stop_after_checkpoints,
+        bundle_dir=args.bundle_dir or "",
+        trace_window=args.trace_window,
+        inject=tuple(args.inject or ()),
+        inject_at=args.inject_at,
+    )
+    if args.resume and not config.checkpoint_dir:
+        raise SwiftSimError("--resume requires --checkpoint-dir")
+    guard = SimulationGuard(
+        config,
+        app_name=app.name,
+        simulator_name=simulator.name,
+        gpu_config=gpu,
+        auto_resume=args.resume,
+    )
+    if args.resume:
+        found = guard.load_resume()
+        if found is None:
+            print(f"no intact checkpoint in {config.checkpoint_dir}; "
+                  f"starting from cycle 0")
+        else:
+            print(f"resuming kernel {found.kernel_index} from cycle "
+                  f"{found.cycle} ({found.path})")
+    try:
+        result = simulator.simulate(app, guard=guard)
+    except SimulationInterrupted as exc:
+        print(f"interrupted at cycle {exc.cycle} after "
+              f"{guard.checkpoints_written} checkpoint(s)")
+        print(f"checkpoint : {exc.checkpoint_path}")
+        print("resume with the same command plus --resume")
+        return
+    print(f"app        : {app.name} ({app.suite}), {len(app.kernels)} kernels")
+    print(f"gpu        : {gpu.name}")
+    print(f"simulator  : {result.simulator_name}")
+    print(f"cycles     : {result.total_cycles}")
+    print(f"wall time  : {result.wall_time_seconds:.3f}s")
+    if config.checkpoint_every:
+        print(f"checkpoints: {guard.checkpoints_written} written to "
+              f"{config.checkpoint_dir}")
+    if guard.bundles:
+        for bundle in guard.bundles:
+            print(f"bundle     : {bundle}")
 
 
 def _cmd_chaos(args) -> None:
@@ -545,6 +708,8 @@ def _cmd_chaos(args) -> None:
         hang_rate=args.hang_rate,
         corrupt_rate=args.corrupt_rate,
         hang_seconds=args.hang_seconds,
+        stall_rate=args.stall_rate,
+        violation_rate=args.violation_rate,
     )
     policy = RetryPolicy(
         max_attempts=args.max_attempts,
@@ -587,11 +752,68 @@ def _cmd_chaos(args) -> None:
         1 for outcome in outcomes.values() for record in outcome.attempts
         if record.outcome != "ok"
     )
+    if args.smoke or chaos.sim_active:
+        kinds = (
+            ("stall", "violation") if args.smoke else tuple(
+                kind for kind, rate in (("stall", args.stall_rate),
+                                        ("violation", args.violation_rate))
+                if rate > 0
+            )
+        )
+        failed += _chaos_sim_scenarios(gpu, simulator_cls, scale, kinds)
     if failed:
-        print(f"FAIL: {failed}/{len(apps)} app(s) did not converge")
+        print(f"FAIL: {failed} scenario(s) did not converge or detect")
         raise _CheckFailed()
     print(f"PASS: survived {injected} injected fault(s); all "
           f"{len(apps)} app(s) bit-identical to the clean run")
+
+
+def _chaos_sim_scenarios(gpu, simulator_cls, scale, kinds) -> int:
+    """In-simulation fault drills: wedge or corrupt the *model* and
+    demand the in-run guard catches it with a forensic bundle.
+
+    Unlike process faults these are terminal by design — a wedged model
+    should fail fast with forensics, not burn retry budget — so they run
+    as explicit detection scenarios rather than through the convergence
+    loop.  Returns the number of scenarios that failed to detect.
+    """
+    import tempfile
+
+    from repro.errors import InvariantViolation, SimulationStall
+    from repro.guard import GuardConfig, SimulationGuard
+
+    expected = {"stall": SimulationStall, "violation": InvariantViolation}
+    failed = 0
+    app = make_app("gemm", scale=scale)
+    print(f"in-simulation faults: {simulator_cls(gpu).name} x {app.name}")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-sim-") as tmp:
+        for kind in kinds:
+            guard = SimulationGuard(
+                GuardConfig(
+                    watchdog=True,
+                    invariants=True,
+                    stall_window=2_000,
+                    check_every=64,
+                    bundle_dir=tmp,
+                    inject=(kind,),
+                ),
+                app_name=app.name,
+                simulator_name=simulator_cls(gpu).name,
+                gpu_config=gpu,
+            )
+            try:
+                simulator_cls(gpu).simulate(
+                    app, gather_metrics=False, guard=guard
+                )
+            except expected[kind] as exc:
+                print(f"  inject {kind:9s} detected at cycle {exc.cycle}: "
+                      f"{type(exc).__name__}, "
+                      f"{len(guard.bundles)} forensic bundle(s)")
+            else:
+                print(f"  inject {kind:9s} NOT DETECTED "
+                      f"(run finished normally)")
+                failed += 1
+    return failed
 
 
 def _cmd_lint(args) -> None:
@@ -655,6 +877,7 @@ _COMMANDS = {
     "figure6": _cmd_figure6,
     "check": _cmd_check,
     "eval": _cmd_eval,
+    "guard": _cmd_guard,
     "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }

@@ -83,6 +83,43 @@ class SMCore(ClockedModule):
     # ------------------------------------------------------------------
     # residency
 
+    def invariants(self, cycle: int) -> List[str]:
+        sm = self.config.sm
+        broken: List[str] = []
+        if not 0 <= self._threads_used <= sm.max_threads:
+            broken.append(
+                f"thread occupancy {self._threads_used} outside "
+                f"[0, {sm.max_threads}]"
+            )
+        if not 0 <= self._smem_used <= sm.shared_mem_bytes:
+            broken.append(
+                f"shared-memory occupancy {self._smem_used} outside "
+                f"[0, {sm.shared_mem_bytes}]"
+            )
+        if not 0 <= self._regs_used <= sm.registers:
+            broken.append(
+                f"register occupancy {self._regs_used} outside "
+                f"[0, {sm.registers}]"
+            )
+        if len(self._blocks) > sm.max_blocks:
+            broken.append(
+                f"{len(self._blocks)} resident blocks exceed the "
+                f"{sm.max_blocks}-block limit"
+            )
+        if len(self._free_slots) > sm.max_warps:
+            broken.append(
+                f"warp-slot leak: {len(self._free_slots)} free slots for "
+                f"{sm.max_warps} total slots"
+            )
+        if not self._blocks and (self._threads_used or self._smem_used
+                                 or self._regs_used):
+            broken.append(
+                "resource leak: no resident blocks but occupancy is "
+                f"threads={self._threads_used} smem={self._smem_used} "
+                f"regs={self._regs_used}"
+            )
+        return broken
+
     def _fits(self, block: BlockTrace) -> bool:
         sm = self.config.sm
         warps = len(block.warps)

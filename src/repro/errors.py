@@ -19,12 +19,104 @@ class TraceError(SwiftSimError):
     """An application trace is malformed or violates trace invariants."""
 
 
+class TraceCorruption(TraceError):
+    """A trace file contains a malformed or truncated line.
+
+    Always carries ``source`` (file path or ``<string>``) and the 1-based
+    ``line`` number, so ingest failures point at the byte range to
+    inspect instead of surfacing as a bare ``ValueError`` deep in the
+    parser.
+    """
+
+    def __init__(self, message: str, *, source: str = "<string>",
+                 line: int = 0) -> None:
+        super().__init__(f"{source}:{line}: {message}")
+        self.source = source
+        self.line = line
+
+
 class PlanError(SwiftSimError):
     """A :class:`repro.sim.plan.ModelingPlan` cannot be assembled."""
 
 
 class SimulationError(SwiftSimError):
     """The simulation engine reached an inconsistent state."""
+
+
+class CycleBudgetExceeded(SimulationError):
+    """:meth:`repro.sim.engine.Engine.run` hit its ``max_cycles`` backstop
+    with a module still active.
+
+    Distinct from a generic :class:`SimulationError` so sweep drivers and
+    the evaluation harness can tell "the model wedged or ran past its
+    budget" apart from "the model is inconsistent" — the former is a
+    per-workload failure record, not necessarily a framework bug.
+    """
+
+    def __init__(self, budget: int, cycle: int, module_name: str) -> None:
+        super().__init__(
+            f"simulation exceeded its {budget}-cycle budget at cycle {cycle} "
+            f"(module {module_name!r} still active; wedged model or "
+            f"undersized budget)"
+        )
+        self.budget = budget
+        self.cycle = cycle
+        self.module_name = module_name
+
+
+class SimulationStall(SimulationError):
+    """The progress watchdog declared the simulation dead- or live-locked.
+
+    Raised by :class:`repro.guard.ProgressWatchdog` when no module
+    advances architectural state for a full stall window, long before the
+    ``max_cycles`` backstop would fire.  Carries a per-module diagnosis
+    and, when forensics are enabled, the path of the bundle written.
+    """
+
+    def __init__(self, message: str, *, cycle: int = 0,
+                 diagnosis: dict = None, bundle_path: str = "") -> None:
+        if bundle_path:
+            message = f"{message} [forensic bundle: {bundle_path}]"
+        super().__init__(message)
+        self.cycle = cycle
+        self.diagnosis = diagnosis or {}
+        self.bundle_path = bundle_path
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant guard caught a conservation property broken
+    mid-run (MSHR leak, queue overflow, credit imbalance, ...)."""
+
+    def __init__(self, message: str, *, cycle: int = 0,
+                 module_name: str = "", bundle_path: str = "") -> None:
+        if bundle_path:
+            message = f"{message} [forensic bundle: {bundle_path}]"
+        super().__init__(message)
+        self.cycle = cycle
+        self.module_name = module_name
+        self.bundle_path = bundle_path
+
+
+class SimulationInterrupted(SwiftSimError):
+    """A guarded run stopped deliberately after writing its checkpoint
+    quota (``stop_after_checkpoints``) — the deterministic stand-in for a
+    kill/timeout mid-run.  Carries the checkpoint to resume from."""
+
+    def __init__(self, message: str, *, checkpoint_path: str = "",
+                 cycle: int = 0) -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.cycle = cycle
+
+
+class CheckpointError(SwiftSimError):
+    """A mid-run checkpoint could not be written or used."""
+
+
+class CheckpointCorruption(CheckpointError):
+    """A checkpoint file is torn, truncated, or fails its integrity
+    check.  Loaders fall back to the previous checkpoint when one
+    exists."""
 
 
 class MetricsError(SwiftSimError):

@@ -17,13 +17,15 @@ resume from its completed (app, gpu, simulator) triples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SwiftSimError, WorkloadError
 from repro.frontend.config import GPUConfig
+from repro.guard import GuardConfig, SimulationGuard
 from repro.oracle.hardware import HardwareOracle
 from repro.resilience.journal import RunJournal
-from repro.simulators.base import GPUSimulator
+from repro.simulators.base import GPUSimulator, PlanSimulator
 from repro.tracegen.suites import app_names, make_app
 from repro.utils.stats import geomean
 
@@ -165,6 +167,7 @@ class EvaluationHarness:
         progress: Optional[callable] = None,
         failure_policy: str = "raise",
         journal: Optional[RunJournal] = None,
+        guard: Optional["GuardConfig"] = None,
     ) -> SuiteEvaluation:
         """Run every app through the oracle and all ``simulators``.
 
@@ -172,10 +175,19 @@ class EvaluationHarness:
         ``"raise"`` propagates the first one (historical behaviour),
         ``"skip"`` drops the whole app row, ``"degrade"`` keeps the row
         with an explicit gap.  Either way every failure lands in
-        ``SuiteEvaluation.failures``.  With a ``journal``, completed
-        (app, gpu, simulator) triples are served from it and fresh
-        completions appended, so an interrupted sweep resumes where it
-        stopped.
+        ``SuiteEvaluation.failures`` — including typed in-run failures
+        like :class:`~repro.errors.CycleBudgetExceeded` (a truncated
+        run is a gap, never a silently-wrong measurement) and
+        :class:`~repro.errors.SimulationStall`.  With a ``journal``,
+        completed (app, gpu, simulator) triples are served from it and
+        fresh completions appended, so an interrupted sweep resumes
+        where it stopped.
+
+        ``guard`` (a :class:`~repro.guard.GuardConfig` template) arms
+        the in-simulation guard per (app, simulator) pair with a
+        per-pair checkpoint directory under the template's
+        ``checkpoint_dir``; pairs with an intact checkpoint auto-resume
+        mid-kernel.
         """
         if failure_policy not in FAILURE_POLICIES:
             raise WorkloadError(
@@ -198,7 +210,9 @@ class EvaluationHarness:
                 )
                 if result is None:
                     try:
-                        result = simulator.simulate(app, gather_metrics=False)
+                        result = self._run_one(
+                            simulator, sim_name, app, guard
+                        )
                     except SwiftSimError as exc:
                         if failure_policy == "raise":
                             raise
@@ -229,3 +243,32 @@ class EvaluationHarness:
             if progress is not None:
                 progress(row)
         return suite
+
+    def _run_one(
+        self,
+        simulator: GPUSimulator,
+        sim_name: str,
+        app,
+        guard: Optional["GuardConfig"],
+    ):
+        """One (app, simulator) measurement, guarded when asked.
+
+        Guarding needs the :class:`~repro.simulators.base.PlanSimulator`
+        kernel-loop hooks; other :class:`GPUSimulator` implementations
+        (e.g. a hardware oracle wrapper) run unguarded.
+        """
+        if guard is None or not isinstance(simulator, PlanSimulator):
+            return simulator.simulate(app, gather_metrics=False)
+        per_pair = guard
+        if guard.checkpoint_dir:
+            per_pair = guard.with_(checkpoint_dir=str(
+                Path(guard.checkpoint_dir) / f"{app.name}_{sim_name}"
+            ))
+        run_guard = SimulationGuard(
+            per_pair,
+            app_name=app.name,
+            simulator_name=sim_name,
+            gpu_config=self.config,
+            auto_resume=bool(per_pair.checkpoint_dir),
+        )
+        return simulator.simulate(app, gather_metrics=False, guard=run_guard)

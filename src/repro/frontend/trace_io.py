@@ -24,7 +24,7 @@ import gzip
 from pathlib import Path
 from typing import List, Optional, Union
 
-from repro.errors import TraceError
+from repro.errors import TraceCorruption, TraceError
 from repro.frontend.trace import (
     ApplicationTrace,
     BlockTrace,
@@ -78,15 +78,28 @@ def _format_instruction(inst: TraceInstruction) -> str:
 
 
 class _Parser:
-    """Single-pass recursive-descent parser over trace lines."""
+    """Single-pass recursive-descent parser over trace lines.
 
-    def __init__(self, lines: List[str], source: str) -> None:
+    With ``skip_corrupt_kernels`` the parser degrades instead of dying:
+    a kernel whose body is malformed or truncated is dropped, parsing
+    reskews to the next ``kernel`` line, and the skip is recorded in
+    ``skipped_kernels``.  Header/app-line corruption and a trace whose
+    *every* kernel is corrupt still raise — there is nothing usable to
+    degrade to.
+    """
+
+    def __init__(self, lines: List[str], source: str,
+                 skip_corrupt_kernels: bool = False) -> None:
         self._lines = lines
         self._source = source
         self._index = 0
+        self._skip_corrupt = skip_corrupt_kernels
+        #: ``(kernel_name_or_?, error_message)`` per dropped kernel.
+        self.skipped_kernels: List[tuple] = []
 
     def _fail(self, message: str) -> None:
-        raise TraceError(f"{self._source}:{self._index}: {message}")
+        raise TraceCorruption(message, source=self._source,
+                              line=self._index)
 
     def _peek(self) -> Optional[str]:
         while self._index < len(self._lines):
@@ -112,6 +125,8 @@ class _Parser:
         if not app_line.startswith("app "):
             self._fail("expected 'app <name> suite=<suite>'")
         app_fields = app_line.split()
+        if len(app_fields) < 2:
+            self._fail("app line is missing the application name")
         app_name = app_fields[1]
         suite = ""
         for field in app_fields[2:]:
@@ -119,16 +134,49 @@ class _Parser:
                 suite = field[len("suite="):]
         kernels: List[KernelTrace] = []
         while self._peek() is not None:
-            kernels.append(self._parse_kernel())
+            if self._skip_corrupt:
+                mark = self._index
+                try:
+                    kernels.append(self._parse_kernel())
+                except TraceCorruption as exc:
+                    self._record_skip(mark, exc)
+                    self._skip_to_next_kernel(mark)
+            else:
+                kernels.append(self._parse_kernel())
         if not kernels:
+            if self.skipped_kernels:
+                first = self.skipped_kernels[0]
+                self._fail(
+                    f"every kernel in the trace is corrupt "
+                    f"(first: kernel {first[0]!r}: {first[1]})"
+                )
             self._fail("trace contains no kernels")
         return ApplicationTrace(app_name, kernels, suite=suite)
+
+    def _record_skip(self, mark: int, exc: TraceCorruption) -> None:
+        name = "?"
+        if mark < len(self._lines):
+            fields = self._lines[mark].split()
+            if len(fields) >= 2 and fields[0] == "kernel":
+                name = fields[1]
+        self.skipped_kernels.append((name, str(exc)))
+
+    def _skip_to_next_kernel(self, mark: int) -> None:
+        """Reskew past a corrupt kernel: resume at the next ``kernel``
+        line strictly after the one that failed."""
+        self._index = mark + 1
+        while self._index < len(self._lines):
+            if self._lines[self._index].strip().startswith("kernel "):
+                return
+            self._index += 1
 
     def _parse_kernel(self) -> KernelTrace:
         line = self._next()
         if not line.startswith("kernel "):
             self._fail(f"expected 'kernel', got {line!r}")
         fields = line.split()
+        if len(fields) < 2:
+            self._fail("kernel line is missing the kernel name")
         name = fields[1]
         grid_dim = None
         for field in fields[2:]:
@@ -158,10 +206,13 @@ class _Parser:
         shared_mem = 0
         regs = 32
         for field in fields[2:]:
-            if field.startswith("smem="):
-                shared_mem = int(field[len("smem="):])
-            elif field.startswith("regs="):
-                regs = int(field[len("regs="):])
+            try:
+                if field.startswith("smem="):
+                    shared_mem = int(field[len("smem="):])
+                elif field.startswith("regs="):
+                    regs = int(field[len("regs="):])
+            except ValueError:
+                self._fail(f"malformed block field {field!r}")
         warps: List[WarpTrace] = []
         while True:
             nxt = self._peek()
@@ -229,8 +280,14 @@ class _Parser:
         raise AssertionError("unreachable")
 
 
-def load_trace(path: Union[str, Path]) -> ApplicationTrace:
-    """Parse a (possibly gzipped) trace file into an :class:`ApplicationTrace`."""
+def load_trace(path: Union[str, Path],
+               skip_corrupt_kernels: bool = False) -> ApplicationTrace:
+    """Parse a (possibly gzipped) trace file into an :class:`ApplicationTrace`.
+
+    ``skip_corrupt_kernels`` degrades instead of failing: kernels with
+    malformed or truncated bodies are dropped (the CLI's
+    ``--skip-corrupt-kernels``), raising only when no kernel survives.
+    """
     path = Path(path)
     try:
         if path.suffix == ".gz":
@@ -242,9 +299,12 @@ def load_trace(path: Union[str, Path]) -> ApplicationTrace:
         raise TraceError(f"trace file not found: {path}") from None
     except (OSError, UnicodeDecodeError) as exc:
         raise TraceError(f"cannot read trace file {path}: {exc}") from exc
-    return parse_trace(text, source=str(path))
+    return parse_trace(text, source=str(path),
+                       skip_corrupt_kernels=skip_corrupt_kernels)
 
 
-def parse_trace(text: str, source: str = "<string>") -> ApplicationTrace:
+def parse_trace(text: str, source: str = "<string>",
+                skip_corrupt_kernels: bool = False) -> ApplicationTrace:
     """Parse trace text (see module docstring for the format)."""
-    return _Parser(text.splitlines(), source).parse()
+    return _Parser(text.splitlines(), source,
+                   skip_corrupt_kernels=skip_corrupt_kernels).parse()

@@ -1,0 +1,82 @@
+"""Runtime invariant guard: conservation checks each K cycles.
+
+Modules declare their own conservation properties by overriding
+:meth:`repro.sim.module.Module.invariants` — MSHRs within configured
+bounds, queue occupancy under declared capacity, NoC flits conserved,
+resources non-negative.  The guard walks the module graph on a
+``check_every`` cadence and raises a typed
+:class:`repro.errors.InvariantViolation` the first time any module
+reports a broken property, after handing the violation to an optional
+callback (which :class:`repro.guard.SimulationGuard` uses to write the
+forensic bundle).
+
+The checks themselves live *inside* the modules and read only ``self``
+state: keeping them there honors the framework interface contract
+(no cross-object private-state reach-in) and keeps each check next to
+the code that maintains the property.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import InvariantViolation
+from repro.sim.engine import Engine, EngineChecker
+
+
+class InvariantGuard(EngineChecker):
+    """Engine checker polling :meth:`Module.invariants` periodically.
+
+    ``on_violation`` is called with ``(cycle, module_name, messages)``
+    before raising and may return a forensic-bundle path to embed in the
+    error.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        check_every: int = 256,
+        on_violation: Optional[
+            Callable[[int, str, List[str]], str]
+        ] = None,
+    ) -> None:
+        self.engine = engine
+        self.check_every = check_every
+        self.on_violation = on_violation
+        self._next_check = 0
+        self.checks_run = 0
+
+    def on_cycle_start(self, cycle: int) -> None:
+        if cycle < self._next_check:
+            return
+        self._next_check = cycle + self.check_every
+        self.check_now(cycle)
+
+    def check_now(self, cycle: int) -> None:
+        """Run one full invariant sweep at ``cycle`` (also used by tests
+        and by the guard's end-of-run final sweep)."""
+        self.checks_run += 1
+        broken = self._collect(cycle)
+        if not broken:
+            return
+        module_name, messages = broken[0]
+        bundle_path = ""
+        if self.on_violation is not None:
+            bundle_path = self.on_violation(cycle, module_name, messages) or ""
+        detail = "; ".join(messages)
+        raise InvariantViolation(
+            f"invariant violated in module {module_name!r} at cycle "
+            f"{cycle}: {detail}",
+            cycle=cycle,
+            module_name=module_name,
+            bundle_path=bundle_path,
+        )
+
+    def _collect(self, cycle: int) -> List[Tuple[str, List[str]]]:
+        broken: List[Tuple[str, List[str]]] = []
+        for root in self.engine.modules:
+            for module in root.walk():
+                messages = module.invariants(cycle)
+                if messages:
+                    broken.append((module.name, list(messages)))
+        return broken

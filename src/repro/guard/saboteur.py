@@ -1,0 +1,87 @@
+"""In-simulation fault injectors for chaos testing the guard itself.
+
+:class:`repro.resilience.ChaosPlan` exercises the *outer* failure paths
+(worker crashes, timeouts, corrupt results).  These modules exercise the
+*inner* ones: a :class:`StallSaboteur` wedges the engine so the progress
+watchdog must detect it and name the culprit, and an
+:class:`InvariantSaboteur` reports a broken conservation property so the
+invariant guard must trip and write a forensic bundle.  Both are
+ordinary :class:`ClockedModule`\\ s registered with the engine like any
+real component — the guard sees them through exactly the code paths a
+genuine model bug would take.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.engine import ClockedModule
+from repro.sim.module import ModelLevel
+
+
+class StallSaboteur(ClockedModule):
+    """Keeps the engine spinning with zero architectural progress.
+
+    Sleeps until ``activate_at``, then demands a tick every cycle forever
+    while never touching a counter.  While real modules are still doing
+    work the progress signature keeps moving; once they drain, the engine
+    is livelocked on this module alone — the watchdog's flat-signature
+    window elapses and the stall diagnosis names the saboteur, exactly as
+    it would name a genuinely wedged scheduler or NoC.
+    """
+
+    component = "chaos_saboteur"
+    level = ModelLevel.CYCLE_ACCURATE
+
+    def __init__(self, activate_at: int = 0,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name or "stall_saboteur")
+        self.activate_at = activate_at
+
+    def tick(self, cycle: int) -> Optional[int]:
+        if cycle < self.activate_at:
+            return self.activate_at
+        return cycle + 1
+
+    def is_done(self) -> bool:
+        # Never reached through a normal drain (the module never idles);
+        # True keeps post-mortem inspection of a guarded engine clean.
+        return True
+
+
+class InvariantSaboteur(ClockedModule):
+    """Reports a broken conservation property from ``activate_at`` on.
+
+    Models an MSHR-style leak: a fake occupancy counter exceeds its fake
+    capacity once activated, so :meth:`invariants` returns a violation
+    message and the invariant guard's next sweep raises with a forensic
+    bundle pointing here.
+    """
+
+    component = "chaos_saboteur"
+    level = ModelLevel.CYCLE_ACCURATE
+
+    def __init__(self, activate_at: int = 0, capacity: int = 4,
+                 name: Optional[str] = None) -> None:
+        super().__init__(name or "invariant_saboteur")
+        self.activate_at = activate_at
+        self.capacity = capacity
+        self.occupancy = 0
+
+    def tick(self, cycle: int) -> Optional[int]:
+        if cycle < self.activate_at:
+            return self.activate_at
+        # The "leak": occupancy jumps past capacity and never recovers.
+        self.occupancy = self.capacity + 1
+        return None
+
+    def invariants(self, cycle: int) -> List[str]:
+        if self.occupancy > self.capacity:
+            return [
+                f"injected leak: occupancy {self.occupancy} exceeds "
+                f"capacity {self.capacity}"
+            ]
+        return []
+
+    def is_done(self) -> bool:
+        return True

@@ -223,6 +223,24 @@ class SectoredCache(Module):
         """Number of live MSHR entries (for tests and metrics)."""
         return len(self._mshr)
 
+    def invariants(self, cycle: int) -> List[str]:
+        broken: List[str] = []
+        occupancy = len(self._mshr)
+        if occupancy > self.config.mshr_entries:
+            broken.append(
+                f"MSHR leak: {occupancy} live entries exceed the "
+                f"configured {self.config.mshr_entries}"
+            )
+        for (line_addr, sector), entry in self._mshr.items():
+            if entry.merges > self.config.mshr_max_merge:
+                broken.append(
+                    f"MSHR entry for line {line_addr:#x} sector {sector} "
+                    f"merged {entry.merges} accesses "
+                    f"(limit {self.config.mshr_max_merge})"
+                )
+                break
+        return broken
+
     def probe(self, line_addr: int, sector: int, cycle: Optional[int] = None) -> bool:
         """Is the sector present and valid?  With ``cycle``, fills that
         have landed by then are retired first (replacement state is not

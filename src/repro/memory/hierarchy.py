@@ -449,6 +449,30 @@ class DetailedMemorySystem(ClockedModule):
     def is_done(self) -> bool:
         return not self.busy
 
+    def invariants(self, cycle: int) -> List[str]:
+        broken: List[str] = []
+        if self._outstanding < 0:
+            broken.append(
+                f"instruction conservation: {self._outstanding} outstanding "
+                f"memory instructions (completions outran issues)"
+            )
+        for sm_id, queue in enumerate(self._l1_queues):
+            if len(queue) > self.L1_QUEUE_CAPACITY:
+                broken.append(
+                    f"L1 queue for sm{sm_id} holds {len(queue)} "
+                    f"transactions (capacity {self.L1_QUEUE_CAPACITY})"
+                )
+                break
+        if any(busy < 0 for busy in self._dram_busy):
+            broken.append("a DRAM partition reports negative busy cycles")
+        if not self.busy and (self._l1_waiters or self._l2_waiters):
+            broken.append(
+                "waiter leak: memory system reports idle with "
+                f"{len(self._l1_waiters)} L1 / {len(self._l2_waiters)} L2 "
+                f"waiter entries still registered"
+            )
+        return broken
+
     def tick(self, cycle: int) -> Optional[int]:
         self._run_events(cycle)
         self._tick_dram(cycle)

@@ -62,6 +62,22 @@ class ReservedNoC(Module):
         """Inject a response from ``partition``; return its arrival cycle."""
         return self._send(self._response_free, cycle, partition, flits)
 
+    def invariants(self, cycle: int) -> List[str]:
+        broken: List[str] = []
+        for label, free in (("request", self._request_free),
+                            ("response", self._response_free)):
+            if len(free) != self.num_partitions:
+                broken.append(
+                    f"{label} reservation table has {len(free)} ports for "
+                    f"{self.num_partitions} partitions"
+                )
+            elif any(value < 0 for value in free):
+                broken.append(
+                    f"{label} reservation table holds a negative "
+                    f"next-free cycle"
+                )
+        return broken
+
 
 class _Packet:
     __slots__ = ("flits_left", "payload")
@@ -155,3 +171,32 @@ class DetailedNoC(Module):
                 )
         if queue:
             self.counters.add("stall_cycles")
+
+    def invariants(self, cycle: int) -> List[str]:
+        broken: List[str] = []
+        if (len(self._request_queues) != self.num_partitions
+                or len(self._response_queues) != self.num_partitions):
+            broken.append("per-partition queue count does not match "
+                          "the partition count")
+            return broken
+        for queues in (self._request_queues, self._response_queues):
+            for queue in queues:
+                for packet in queue:
+                    if packet.flits_left <= 0:
+                        broken.append(
+                            "flit conservation: a queued packet has "
+                            f"{packet.flits_left} flits left (fully "
+                            "transmitted packets must leave the queue)"
+                        )
+                        return broken
+        for deliver_at, partition, __is_request, __payload in self._in_flight:
+            if not 0 <= partition < self.num_partitions:
+                broken.append(
+                    f"in-flight packet addressed to partition {partition} "
+                    f"of {self.num_partitions}"
+                )
+                return broken
+            if deliver_at < 0:
+                broken.append("in-flight packet with negative delivery cycle")
+                return broken
+        return broken

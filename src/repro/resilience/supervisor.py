@@ -66,12 +66,26 @@ class Task:
     when given, runs *in the supervisor* on every delivered result and
     raises to reject it (the rejection is classified as a retryable
     :class:`~repro.errors.CorruptResult`).
+
+    ``args_for_attempt``, when given, computes the argument tuple for a
+    specific 1-based attempt number (overriding ``args``).  This is how
+    checkpoint-aware tasks resume: attempt 1 starts clean, and a retry
+    after a :class:`~repro.errors.TaskTimeout` or
+    :class:`~repro.errors.WorkerCrash` builds arguments that pick up
+    from the newest mid-run checkpoint instead of cycle 0.
     """
 
     key: str
     fn: Callable
     args: Tuple = ()
     validate: Optional[Callable[[object], None]] = None
+    args_for_attempt: Optional[Callable[[int], Tuple]] = None
+
+    def attempt_args(self, attempt: int) -> Tuple:
+        """The argument tuple to run attempt ``attempt`` with."""
+        if self.args_for_attempt is not None:
+            return self.args_for_attempt(attempt)
+        return self.args
 
 
 @dataclass(frozen=True)
@@ -289,7 +303,7 @@ class Supervisor:
                 )
             time.sleep(self.chaos.hang_seconds)
         try:
-            result = task.fn(*task.args)
+            result = task.fn(*task.attempt_args(attempt))
         except MemoryError as exc:
             return "exhausted", repr(exc), None
         except Exception as exc:  # noqa: BLE001
@@ -305,8 +319,8 @@ class Supervisor:
         parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
         process = multiprocessing.Process(
             target=_attempt_entry,
-            args=(child_conn, task.fn, task.args, self.chaos, task.key,
-                  attempt),
+            args=(child_conn, task.fn, task.attempt_args(attempt),
+                  self.chaos, task.key, attempt),
             daemon=True,
         )
         process.start()

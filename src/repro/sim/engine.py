@@ -27,7 +27,7 @@ from abc import abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import CycleBudgetExceeded, SimulationError
 from repro.sim.module import Module
 from repro.utils.fastpath import get_fastpaths
 
@@ -73,6 +73,16 @@ class EngineChecker:
         """:meth:`Engine.wake` was called with the *requested* ``cycle``
         (before any clamping to ``now``)."""
 
+    def on_cycle_start(self, cycle: int) -> None:
+        """The engine clock is about to advance to ``cycle``.
+
+        Fires once per distinct cycle value, *before* any tick at that
+        cycle and before the heap is touched: every tick of the previous
+        cycle has completed and the engine + module state is a consistent
+        cycle-boundary snapshot.  :mod:`repro.guard` checkpoints and
+        evaluates progress/invariants here.
+        """
+
     def on_tick(self, module: "ClockedModule", cycle: int, rank: int) -> None:
         """``module`` (registration rank ``rank``) is about to tick."""
 
@@ -83,6 +93,46 @@ class EngineChecker:
 
     def on_run_end(self, final_cycle: int) -> None:
         """:meth:`Engine.run` drained its schedule at ``final_cycle``."""
+
+
+class CompositeChecker(EngineChecker):
+    """Fans every checker callback out to an ordered list of checkers.
+
+    :meth:`Engine.attach_checker` takes exactly one checker; the guard
+    subsystem (watchdog + invariant guard + checkpointer) and a
+    caller-supplied sanitizer/profiler compose through this instead.
+    """
+
+    def __init__(self, checkers: List[EngineChecker]) -> None:
+        self.checkers = [c for c in checkers if c is not None]
+
+    def on_add(self, module: "ClockedModule", start_cycle: int) -> None:
+        for checker in self.checkers:
+            checker.on_add(module, start_cycle)
+
+    def on_schedule(self, module: "ClockedModule", cycle: int, now: int) -> None:
+        for checker in self.checkers:
+            checker.on_schedule(module, cycle, now)
+
+    def on_wake(self, module: "ClockedModule", cycle: int, now: int) -> None:
+        for checker in self.checkers:
+            checker.on_wake(module, cycle, now)
+
+    def on_cycle_start(self, cycle: int) -> None:
+        for checker in self.checkers:
+            checker.on_cycle_start(cycle)
+
+    def on_tick(self, module: "ClockedModule", cycle: int, rank: int) -> None:
+        for checker in self.checkers:
+            checker.on_tick(module, cycle, rank)
+
+    def on_tick_end(self, module: "ClockedModule", cycle: int) -> None:
+        for checker in self.checkers:
+            checker.on_tick_end(module, cycle)
+
+    def on_run_end(self, final_cycle: int) -> None:
+        for checker in self.checkers:
+            checker.on_run_end(final_cycle)
 
 
 class ClockedModule(Module):
@@ -187,7 +237,8 @@ class Engine:
         """Run until every module goes idle; return the final cycle.
 
         ``max_cycles`` is a deadlock backstop: exceeding it raises
-        :class:`SimulationError` rather than hanging.
+        :class:`repro.errors.CycleBudgetExceeded` rather than hanging
+        (or silently returning the cap as if the run had converged).
         """
         fast = self.config.fast_dispatch
         if fast is None:
@@ -212,14 +263,18 @@ class Engine:
         checker = self.checker
         last_cycle = self.cycle
         while heap:
-            cycle, rank, __seq, module = heapq.heappop(heap)
+            cycle, rank, __seq, module = heap[0]
             if self._scheduled.get(module, _IDLE) != cycle:
+                heapq.heappop(heap)
                 continue  # superseded entry
             if cycle > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"(module {module.name!r} still active; likely deadlock)"
-                )
+                raise CycleBudgetExceeded(max_cycles, cycle, module.name)
+            if checker is not None and cycle > self.cycle:
+                # Peeked, not popped: every tick at self.cycle has finished
+                # and the heap is untouched, so engine + module state is a
+                # consistent cycle-boundary snapshot (checkpoint-safe).
+                checker.on_cycle_start(cycle)
+            cycle, rank, __seq, module = heapq.heappop(heap)
             self.cycle = cycle
             del self._scheduled[module]
             if checker is not None:
@@ -260,10 +315,7 @@ class Engine:
             if scheduled.get(module, _IDLE) != cycle:
                 continue  # superseded entry
             if cycle > max_cycles:
-                raise SimulationError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"(module {module.name!r} still active; likely deadlock)"
-                )
+                raise CycleBudgetExceeded(max_cycles, cycle, module.name)
             self.cycle = cycle
             del scheduled[module]
             next_cycle = module.tick(cycle)

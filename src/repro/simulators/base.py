@@ -146,6 +146,7 @@ class PlanSimulator(GPUSimulator):
         gather_metrics: bool = True,
         engine_allow_jump: Optional[bool] = None,
         checker=None,
+        guard=None,
     ) -> SimulationResult:
         """Simulate ``app`` and return a :class:`SimulationResult`.
 
@@ -155,56 +156,107 @@ class PlanSimulator(GPUSimulator):
         says both must be bit-identical).  ``checker`` is an optional
         :class:`~repro.sim.engine.EngineChecker` attached to every
         kernel's engine (the runtime sanitizer).
+
+        ``guard`` is an optional :class:`repro.guard.SimulationGuard`:
+        it arms the progress watchdog / invariant guards / periodic
+        checkpointer on each kernel's engine and, when constructed with
+        ``auto_resume=True`` and an intact checkpoint exists, restores
+        the run mid-kernel and continues to completion — bit-identical
+        to an uninterrupted run (``repro check --mode guard`` enforces
+        this).  A guard with everything disabled attaches nothing, so
+        the engine keeps its fast dispatch loop.
         """
         plan_jump = self.plan["clocking"] == "event_jump"
         allow_jump = plan_jump if engine_allow_jump is None else engine_allow_jump
         per_cycle = not plan_jump
-        persistent_memory = self._build_memory()
-        clock = 0
-        kernel_results: List[KernelResult] = []
-        roots: List[Module] = []
-        analytical_models: List[AnalyticalMemoryModel] = []
-        profile_started = time.perf_counter()
-        if persistent_memory is not None:
-            roots.append(persistent_memory)
+        resume = guard.load_resume() if (
+            guard is not None and guard.auto_resume
+        ) else None
+        if resume is not None:
+            frame = resume.frame
+            persistent_memory = frame["persistent_memory"]
+            analytical_models = frame["analytical_models"]
+            roots = frame["roots"]
+            kernel_results = frame["kernel_results"]
+            profile_seconds = frame["profile_seconds"]
+            clock = frame["clock"]
         else:
-            # Hit-rate profiling is trace preprocessing (like trace capture
-            # itself); it is timed separately from the simulation proper.
-            analytical_models = self._build_analytical_memory(app)
-            roots.extend(analytical_models)
-        profile_seconds = time.perf_counter() - profile_started
+            persistent_memory = self._build_memory()
+            clock = 0
+            kernel_results = []
+            roots = []
+            analytical_models = []
+            profile_started = time.perf_counter()
+            if persistent_memory is not None:
+                roots.append(persistent_memory)
+            else:
+                # Hit-rate profiling is trace preprocessing (like trace
+                # capture itself); it is timed separately from the
+                # simulation proper.
+                analytical_models = self._build_analytical_memory(app)
+                roots.extend(analytical_models)
+            profile_seconds = time.perf_counter() - profile_started
         started = time.perf_counter()
         for kernel_index, kernel in enumerate(app.kernels):
-            if persistent_memory is None:
-                memory = analytical_models[kernel_index]
+            if resume is not None and kernel_index < resume.kernel_index:
+                continue  # finished before the checkpoint; results restored
+            if resume is not None and kernel_index == resume.kernel_index:
+                # Pick the interrupted kernel back up mid-flight: the
+                # restored engine's heap and clock continue exactly where
+                # the checkpoint's cycle boundary left them.
+                engine = resume.engine
+                scheduler = frame["scheduler"]
+                sms = frame["sms"]
+                memory = frame["memory"]
+                guard.begin_kernel(engine, frame, kernel_index,
+                                   extra_checker=checker)
+                resume = None
             else:
-                memory = persistent_memory
-            scheduler = BlockScheduler(kernel)
-            # Per-cycle simulators tick the full SM array every cycle (the
-            # Accel-Sim main loop); hybrid plans only build occupied SMs.
-            if per_cycle:
-                num_sms = self.config.num_sms
-            else:
-                num_sms = min(self.config.num_sms, len(kernel.blocks))
-            sms = [
-                SMCore(
-                    sm_id,
-                    self.config,
-                    scheduler,
-                    self._subcore_factory(memory),
-                    idle_tick=per_cycle,
-                )
-                for sm_id in range(num_sms)
-            ]
-            engine = Engine(allow_jump=allow_jump, start_cycle=clock)
-            if checker is not None:
-                engine.attach_checker(checker)
-            for sm in sms:
-                sm.attach_engine(engine)
-                engine.add(sm, start_cycle=clock)
-            if isinstance(memory, DetailedMemorySystem):
-                memory.attach_engine(engine)
-                engine.add(memory, start_cycle=clock)
+                if persistent_memory is None:
+                    memory = analytical_models[kernel_index]
+                else:
+                    memory = persistent_memory
+                scheduler = BlockScheduler(kernel)
+                # Per-cycle simulators tick the full SM array every cycle
+                # (the Accel-Sim main loop); hybrid plans only build
+                # occupied SMs.
+                if per_cycle:
+                    num_sms = self.config.num_sms
+                else:
+                    num_sms = min(self.config.num_sms, len(kernel.blocks))
+                sms = [
+                    SMCore(
+                        sm_id,
+                        self.config,
+                        scheduler,
+                        self._subcore_factory(memory),
+                        idle_tick=per_cycle,
+                    )
+                    for sm_id in range(num_sms)
+                ]
+                engine = Engine(allow_jump=allow_jump, start_cycle=clock)
+                if guard is not None:
+                    frame = {
+                        "persistent_memory": persistent_memory,
+                        "analytical_models": analytical_models,
+                        "roots": roots,
+                        "kernel_results": kernel_results,
+                        "profile_seconds": profile_seconds,
+                        "clock": clock,
+                        "scheduler": scheduler,
+                        "sms": sms,
+                        "memory": memory,
+                    }
+                    guard.begin_kernel(engine, frame, kernel_index,
+                                       extra_checker=checker)
+                elif checker is not None:
+                    engine.attach_checker(checker)
+                for sm in sms:
+                    sm.attach_engine(engine)
+                    engine.add(sm, start_cycle=clock)
+                if isinstance(memory, DetailedMemorySystem):
+                    memory.attach_engine(engine)
+                    engine.add(memory, start_cycle=clock)
             end = engine.run(max_cycles=clock + max_kernel_cycles)
             end = max(end, scheduler.last_completion_cycle, *(sm.last_completion for sm in sms))
             kernel_results.append(

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import os
 import pickle
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Type
 
 from repro.errors import SimulationError
 from repro.frontend.config import GPUConfig
 from repro.frontend.trace import ApplicationTrace
+from repro.guard import GuardConfig, SimulationGuard
 from repro.resilience.chaos import ChaosPlan
 from repro.resilience.journal import RunJournal
 from repro.resilience.policy import NO_RETRY, RetryPolicy
@@ -47,6 +49,32 @@ def _simulate_one(
     simulator = simulator_cls(config, plan=plan, hit_rate_source=hit_rate_source)
     # Metrics hold live module references; skip them for cross-process runs.
     return simulator.simulate(app, gather_metrics=False)
+
+
+def _simulate_one_guarded(
+    simulator_cls: Type[PlanSimulator],
+    config: GPUConfig,
+    plan: ModelingPlan,
+    hit_rate_source: str,
+    app: ApplicationTrace,
+    guard_config: GuardConfig,
+    resume: bool,
+) -> SimulationResult:
+    """Worker entry for guarded runs (module-level for spawn support).
+
+    ``resume`` is True on retry attempts: the run restores the newest
+    intact checkpoint in its per-run directory — written by the attempt
+    that crashed or timed out — instead of starting from cycle 0.
+    """
+    simulator = simulator_cls(config, plan=plan, hit_rate_source=hit_rate_source)
+    guard = SimulationGuard(
+        guard_config,
+        app_name=app.name,
+        simulator_name=simulator.name,
+        gpu_config=config,
+        auto_resume=resume,
+    )
+    return simulator.simulate(app, gather_metrics=False, guard=guard)
 
 
 def validate_picklable(simulator: PlanSimulator,
@@ -106,6 +134,53 @@ def _result_validator(app: ApplicationTrace):
     return validate
 
 
+def _guarded_task(
+    simulator: PlanSimulator,
+    app: ApplicationTrace,
+    guard_config: GuardConfig,
+    chaos: Optional[ChaosPlan],
+) -> Task:
+    """Build a checkpoint-aware supervised task for one app.
+
+    The per-attempt argument hook is where kill-and-resume happens:
+    attempt 1 runs clean, any retry (after a timeout or crash) passes
+    ``resume=True`` so the worker restores the checkpoint its
+    predecessor left behind.  Chaos in-simulation faults draw per
+    attempt from the independent ``decide_sim`` stream.
+    """
+    base = (
+        type(simulator),
+        simulator.config,
+        simulator.plan,
+        simulator.hit_rate_source,
+        app,
+    )
+    per_run = guard_config.with_(
+        checkpoint_dir=str(
+            Path(guard_config.checkpoint_dir)
+            / f"{app.name}_{simulator.name}"
+        )
+    ) if guard_config.checkpoint_dir else guard_config
+
+    def args_for_attempt(attempt: int):
+        cfg = per_run
+        kind = (
+            chaos.decide_sim(app.name, attempt)
+            if chaos is not None else None
+        )
+        if kind is not None:
+            cfg = cfg.with_(inject=(kind,))
+        return base + (cfg, attempt > 1)
+
+    return Task(
+        key=app.name,
+        fn=_simulate_one_guarded,
+        args=base + (per_run, False),
+        args_for_attempt=args_for_attempt,
+        validate=_result_validator(app),
+    )
+
+
 def simulate_apps_supervised(
     simulator: PlanSimulator,
     apps: Sequence[ApplicationTrace],
@@ -113,6 +188,7 @@ def simulate_apps_supervised(
     retry_policy: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosPlan] = None,
     journal: Optional[RunJournal] = None,
+    guard: Optional[GuardConfig] = None,
 ) -> Dict[str, TaskOutcome]:
     """Run apps under full supervision and return per-task outcomes.
 
@@ -121,6 +197,12 @@ def simulate_apps_supervised(
     result or a typed :class:`~repro.errors.TaskFailure` with its full
     attempt history.  Triples already present in ``journal`` are served
     from it without simulating; fresh completions are durably appended.
+
+    ``guard`` is a :class:`~repro.guard.GuardConfig` *template*: each
+    app gets its own copy with ``checkpoint_dir`` nested per
+    ``(app, simulator)``, so checkpoints from concurrent workers never
+    collide, and retry attempts resume from the checkpoint the killed
+    attempt wrote instead of replaying from cycle 0.
     """
     if workers is None:
         workers = default_worker_count()
@@ -144,21 +226,26 @@ def simulate_apps_supervised(
             outcomes[app.name] = TaskOutcome(key=app.name, result=journaled)
         else:
             pending.append(app)
-    tasks = [
-        Task(
-            key=app.name,
-            fn=_simulate_one,
-            args=(
-                type(simulator),
-                simulator.config,
-                simulator.plan,
-                simulator.hit_rate_source,
-                app,
-            ),
-            validate=_result_validator(app),
-        )
-        for app in pending
-    ]
+    if guard is not None:
+        tasks = [
+            _guarded_task(simulator, app, guard, chaos) for app in pending
+        ]
+    else:
+        tasks = [
+            Task(
+                key=app.name,
+                fn=_simulate_one,
+                args=(
+                    type(simulator),
+                    simulator.config,
+                    simulator.plan,
+                    simulator.hit_rate_source,
+                    app,
+                ),
+                validate=_result_validator(app),
+            )
+            for app in pending
+        ]
     outcomes.update(supervisor.run(tasks))
     if journal is not None:
         for app in pending:
@@ -175,6 +262,7 @@ def simulate_apps_parallel(
     retry_policy: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosPlan] = None,
     journal: Optional[RunJournal] = None,
+    guard: Optional[GuardConfig] = None,
 ) -> Dict[str, SimulationResult]:
     """Simulate many applications concurrently with ``simulator``'s plan.
 
@@ -191,7 +279,7 @@ def simulate_apps_parallel(
         retry_policy = NO_RETRY
     outcomes = simulate_apps_supervised(
         simulator, apps, workers=workers, retry_policy=retry_policy,
-        chaos=chaos, journal=journal,
+        chaos=chaos, journal=journal, guard=guard,
     )
     results: Dict[str, SimulationResult] = {}
     for app in apps:

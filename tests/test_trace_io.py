@@ -135,3 +135,65 @@ class TestParserErrors:
         )
         with pytest.raises(TraceError):
             parse_trace(text)
+
+
+GOOD_KERNEL = "kernel good grid=1,1,1\nblock 0 smem=0 regs=32\nwarp 0\n0x0000 EXIT\n"
+BAD_KERNEL = "kernel bad grid=1,1,1\nblock 0 smem=zzz regs=32\nwarp 0\n0x0000 EXIT\n"
+TRUNCATED_KERNEL = "kernel torn grid=1,1,1\nblock 1 smem=0 regs=32\nwarp 0\n"
+HEADER = "#SWIFTSIM-TRACE v1\napp a suite=s\n"
+
+
+class TestTraceCorruption:
+    def test_typed_error_with_context(self):
+        from repro.errors import TraceCorruption
+
+        with pytest.raises(TraceCorruption) as exc_info:
+            parse_trace(HEADER + BAD_KERNEL, source="bad.trace")
+        exc = exc_info.value
+        assert exc.source == "bad.trace"
+        assert exc.line > 0
+        assert str(exc).startswith(f"bad.trace:{exc.line}:")
+
+    def test_corruption_is_a_trace_error(self):
+        from repro.errors import TraceCorruption
+
+        assert issubclass(TraceCorruption, TraceError)
+
+    def test_malformed_block_field_rejected(self):
+        with pytest.raises(TraceError, match="malformed block field"):
+            parse_trace(HEADER + BAD_KERNEL)
+
+
+class TestSkipCorruptKernels:
+    def test_corrupt_kernel_dropped_good_ones_kept(self):
+        text = HEADER + GOOD_KERNEL + BAD_KERNEL + GOOD_KERNEL
+        app = parse_trace(text, skip_corrupt_kernels=True)
+        assert [k.name for k in app.kernels] == ["good", "good"]
+
+    def test_truncated_tail_kernel_dropped(self):
+        text = HEADER + GOOD_KERNEL + TRUNCATED_KERNEL
+        app = parse_trace(text, skip_corrupt_kernels=True)
+        assert [k.name for k in app.kernels] == ["good"]
+
+    def test_all_kernels_corrupt_still_raises(self):
+        from repro.errors import TraceCorruption
+
+        with pytest.raises(TraceCorruption, match="every kernel"):
+            parse_trace(HEADER + BAD_KERNEL, skip_corrupt_kernels=True)
+
+    def test_header_corruption_never_degrades(self):
+        with pytest.raises(TraceError, match="header"):
+            parse_trace("garbage\n" + GOOD_KERNEL,
+                        skip_corrupt_kernels=True)
+
+    def test_load_trace_forwards_flag(self, tmp_path):
+        path = tmp_path / "mixed.trace"
+        path.write_text(HEADER + BAD_KERNEL + GOOD_KERNEL)
+        with pytest.raises(TraceError):
+            load_trace(path)
+        app = load_trace(path, skip_corrupt_kernels=True)
+        assert [k.name for k in app.kernels] == ["good"]
+
+    def test_default_remains_strict(self):
+        with pytest.raises(TraceError):
+            parse_trace(HEADER + GOOD_KERNEL + BAD_KERNEL)
