@@ -1,0 +1,185 @@
+"""Experiment F4a — the analytic point on Figure 4's speed/accuracy
+spectrum: Swift-Sim-Analytic vs the engine-based tiers.
+
+The paper's framing is a spectrum of accuracy/speed points behind one
+interface; the closed-form tier is its fast extreme.  The contract this
+suite enforces (PPT-GPU-style two-phase model: one pre-characterization
+pass, then vectorized closed-form evaluation):
+
+* **model evaluation is >= 100x faster than Swift-Sim-Basic** on the
+  small-scale Figure 4 suite.  Speedup is computed from
+  ``wall_time_seconds`` — pure model time, excluding the one-time
+  ``profile_seconds`` pre-characterization pass, exactly how the
+  interval and memory tiers report their own amortized phase (the pass
+  is measured and persisted alongside, never hidden);
+* **accuracy degrades but stays useful** — per-app error vs the
+  hardware oracle is recorded in the artifact, and the analytic tier
+  stays within the wild-divergence band on every app;
+* **cycle counts are pinned** against the committed
+  ``fig4_analytic`` baseline record exactly (the model is closed-form
+  deterministic arithmetic: any drift is a model change, not noise),
+  with the wall-clock gate applying the standard ±30% tolerance on the
+  recording machine only.
+
+Every run persists ``BENCH_analytic_speedup.json`` for the CI artifact
+trail.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.figures import ACCEL, ANALYTIC, BASIC, MEMORY
+from repro.profile import (
+    bench_tolerance,
+    load_baseline,
+    machine_info,
+    write_bench_artifact,
+)
+
+BASELINE_PATH = Path(__file__).parent / "baseline_bench.json"
+
+pytest.importorskip("numpy")
+
+
+def test_analytic_point_on_figure4(figure4_data, benchmark):
+    """On the shared Figure 4 session: the analytic tier is the fastest
+    point of the spectrum and its error stays bounded."""
+    speedups = benchmark(lambda: figure4_data.geomean_speedup)
+    print()
+    print(figure4_data.render())
+    assert speedups[ANALYTIC] > speedups[MEMORY] > speedups[BASIC] > 1.0
+    errors = figure4_data.mean_error
+    # The closed form trades accuracy for speed, but it must stay in the
+    # same conversation as the hybrid tiers, not drift into noise.
+    assert errors[ANALYTIC] < 100.0
+    for row in figure4_data.suite.rows:
+        assert row.speedup(ANALYTIC, ACCEL) > 1.0, row.app_name
+
+
+def test_analytic_speedup_and_error(scale, apps, gpu):
+    """Standalone measurement: >= 100x model-eval speedup over
+    Swift-Sim-Basic at small scale, with the per-app oracle error table
+    persisted alongside.
+
+    Standalone runs (not the shared figure session) so the timings are
+    not contaminated by the in-process accel-like baseline; the
+    pre-characterization pass is timed separately and reported in the
+    artifact — amortized to ~zero over a sweep, but never hidden.
+    """
+    from repro.oracle.hardware import HardwareOracle
+    from repro.simulators.swift_analytic import SwiftSimAnalytic
+    from repro.simulators.swift_basic import SwiftSimBasic
+    from repro.tracegen.suites import make_app
+
+    oracle = HardwareOracle(gpu)
+    basic_total = 0.0
+    analytic_total = 0.0
+    profile_total = 0.0
+    per_app = {}
+    for name in apps:
+        app = make_app(name, scale=scale)
+        basic = SwiftSimBasic(gpu).simulate(app, gather_metrics=False)
+        # The analytic evaluation is microseconds per app, so a single
+        # shot is dominated by timer/GC noise — take the best of a few
+        # repeats (the engine run is seconds; once is representative).
+        runs = [SwiftSimAnalytic(gpu).simulate(app) for __ in range(5)]
+        analytic = runs[0]
+        assert len({r.total_cycles for r in runs}) == 1  # deterministic
+        analytic_wall = min(r.wall_time_seconds for r in runs)
+        measured = oracle.measure(app)
+        basic_total += basic.wall_time_seconds
+        analytic_total += analytic_wall
+        profile_total += analytic.profile_seconds
+        per_app[name] = {
+            "analytic_cycles": analytic.total_cycles,
+            "basic_cycles": basic.total_cycles,
+            "oracle_cycles": measured,
+            "analytic_error_pct": 100.0
+            * abs(analytic.total_cycles - measured) / measured,
+            "basic_wall_seconds": basic.wall_time_seconds,
+            "analytic_wall_seconds": analytic_wall,
+            "precharacterize_seconds": analytic.profile_seconds,
+        }
+    speedup = basic_total / analytic_total if analytic_total > 0 else 0.0
+    write_bench_artifact(
+        "analytic_speedup",
+        {
+            "schema": 1,
+            "simulator": ANALYTIC,
+            "scale": scale,
+            "gpu": gpu.name,
+            "basic_total_wall_seconds": basic_total,
+            "analytic_total_wall_seconds": analytic_total,
+            "precharacterize_total_seconds": profile_total,
+            "model_eval_speedup": speedup,
+            "per_app": per_app,
+            "machine": machine_info(),
+        },
+    )
+    mean_error = sum(
+        entry["analytic_error_pct"] for entry in per_app.values()
+    ) / len(per_app)
+    print(f"\nanalytic model-eval speedup over basic: {speedup:.1f}x "
+          f"(pre-characterization {profile_total:.2f}s one-time, "
+          f"mean oracle error {mean_error:.1f}%)")
+    if scale == "tiny":
+        # Tiny traces barely give the engine time to be slow; the 100x
+        # contract is a small-scale statement (where it was calibrated).
+        assert speedup > 5.0, f"only {speedup:.1f}x at tiny scale"
+    else:
+        assert speedup >= 100.0, (
+            f"analytic model evaluation is only {speedup:.1f}x faster than "
+            f"swift-basic at {scale} scale — the closed form lost its "
+            f"reason to exist"
+        )
+    assert mean_error < 100.0
+
+
+def test_analytic_vs_committed_baseline(scale, apps, gpu):
+    """Pin the analytic predictions to the committed ``fig4_analytic``
+    record: cycles exactly (closed-form arithmetic is deterministic),
+    wall-clock within the standard tolerance on the recording host."""
+    from repro.simulators.swift_analytic import SwiftSimAnalytic
+    from repro.tracegen.suites import make_app
+
+    baseline = load_baseline(BASELINE_PATH)
+    if baseline is None or "fig4_analytic" not in baseline:
+        pytest.skip(f"no fig4_analytic record in {BASELINE_PATH}")
+    record = baseline["fig4_analytic"]
+    if record.get("scale") != scale or record.get("gpu") != gpu.name:
+        pytest.skip(
+            f"record is {record.get('gpu')}/{record.get('scale')}, "
+            f"session runs {gpu.name}/{scale}"
+        )
+    mismatched = []
+    wall_total = 0.0
+    recorded_total = 0.0
+    for name in apps:
+        expected = record.get("per_app", {}).get(name)
+        if expected is None:
+            continue  # app added after the record was taken
+        result = SwiftSimAnalytic(gpu).simulate(make_app(name, scale=scale))
+        wall_total += result.wall_time_seconds
+        recorded_total += expected["wall_seconds"]
+        if result.total_cycles != expected["cycles"]:
+            mismatched.append(
+                f"{name}: {expected['cycles']} -> {result.total_cycles}"
+            )
+    assert not mismatched, (
+        f"analytic cycle counts diverged from the committed record (the "
+        f"closed form is deterministic; refresh the baseline only with a "
+        f"deliberate model change): {mismatched}"
+    )
+    same_machine = (
+        baseline.get("machine", {}).get("platform")
+        == machine_info()["platform"]
+    )
+    if not same_machine:
+        pytest.skip("baseline recorded on a different machine; cycles checked")
+    tolerance = bench_tolerance()
+    ratio = wall_total / recorded_total if recorded_total > 0 else 1.0
+    assert ratio <= 1.0 + tolerance, (
+        f"analytic evaluation is {ratio:.2f}x the recorded wall time "
+        f"(+/-{tolerance:.0%} gate)"
+    )

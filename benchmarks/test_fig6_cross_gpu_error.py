@@ -10,7 +10,7 @@ every architecture.
 
 import pytest
 
-from repro.eval.figures import ACCEL, BASIC, figure6
+from repro.eval.figures import ACCEL, ANALYTIC, BASIC, figure6
 from repro.frontend.presets import RTX_2080_TI, RTX_3060, RTX_3090
 
 
@@ -31,6 +31,9 @@ def test_errors_per_gpu_in_band(figure6_data, benchmark):
     for gpu_name, by_sim in means.items():
         assert 3.0 <= by_sim[BASIC] <= 40.0, (gpu_name, by_sim)
         assert 3.0 <= by_sim[ACCEL] <= 40.0, (gpu_name, by_sim)
+        # Closed-form tier: portable across architectures too, with the
+        # wider band its speed/accuracy trade earns (docs/analytic-tier.md).
+        assert by_sim[ANALYTIC] <= 60.0, (gpu_name, by_sim)
 
 
 def test_basic_comparable_to_baseline_everywhere(figure6_data, benchmark):

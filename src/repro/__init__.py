@@ -59,6 +59,7 @@ from repro.frontend import (
 )
 from repro.sim.plan import (
     ACCEL_LIKE_PLAN,
+    SWIFT_ANALYTIC_PLAN,
     SWIFT_BASIC_PLAN,
     SWIFT_MEMORY_PLAN,
     ModelingPlan,
@@ -70,6 +71,7 @@ from repro.simulators import (
     PlanSimulator,
     SampledSimulator,
     SimulationResult,
+    SwiftSimAnalytic,
     SwiftSimBasic,
     SwiftSimMemory,
     simulate_apps_parallel,
@@ -102,11 +104,13 @@ __all__ = [
     "RetryPolicy",
     "RunJournal",
     "SampledSimulator",
+    "SWIFT_ANALYTIC_PLAN",
     "SWIFT_BASIC_PLAN",
     "SWIFT_MEMORY_PLAN",
     "SimulationError",
     "SimulationResult",
     "Supervisor",
+    "SwiftSimAnalytic",
     "SwiftSimBasic",
     "SwiftSimError",
     "SwiftSimMemory",

@@ -26,6 +26,7 @@ from repro.analyze.registry import rule
 #: Modules whose classes are shipped to resilience workers wholesale.
 PAYLOAD_MODULES = frozenset({
     "repro.frontend.config",
+    "repro.frontend.precharacterize",
     "repro.frontend.trace",
     "repro.sim.plan",
     "repro.simulators.results",

@@ -127,10 +127,21 @@ def run_checks(
                 report.checks_run += 1
                 step(f"shadow-jump {simulator_cls(config).name} x {name}")
     if mode in ("differential", "all"):
+        # The closed-form tier joins the default differential lineup (it
+        # has no engine, so the engine-facing pillars skip it); explicit
+        # simulator selections are honored as given.
+        differential_classes = list(classes)
+        if simulator_classes is None:
+            from repro.frontend.precharacterize import numpy_available
+            from repro.simulators.swift_analytic import SwiftSimAnalytic
+
+            if numpy_available():
+                differential_classes.append(SwiftSimAnalytic)
         for name in names:
             app = make_app(name, scale=scale)
             report.extend(differential_check(
-                config, app, tolerance=tolerance, simulator_classes=classes
+                config, app, tolerance=tolerance,
+                simulator_classes=differential_classes,
             ))
             report.checks_run += 1
             step(f"differential {name}")

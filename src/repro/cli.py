@@ -45,6 +45,7 @@ from repro.frontend.trace_io import load_trace, save_trace
 from repro.oracle.hardware import HardwareOracle
 from repro.simulators.accel_like import AccelSimLike
 from repro.simulators.interval import IntervalSimulator
+from repro.simulators.swift_analytic import SwiftSimAnalytic
 from repro.simulators.swift_basic import SwiftSimBasic
 from repro.simulators.swift_memory import SwiftSimMemory
 from repro.tracegen.suites import APPLICATIONS, app_names, make_app
@@ -53,6 +54,7 @@ SIMULATORS: Dict[str, type] = {
     "accel-like": AccelSimLike,
     "swift-basic": SwiftSimBasic,
     "swift-memory": SwiftSimMemory,
+    "swift-analytic": SwiftSimAnalytic,
     "interval": IntervalSimulator,
 }
 

@@ -18,6 +18,7 @@ from repro.frontend.config import GPUConfig
 from repro.frontend.presets import RTX_2080_TI, RTX_3060, RTX_3090
 from repro.simulators.accel_like import AccelSimLike
 from repro.simulators.parallel import default_worker_count, simulate_apps_parallel
+from repro.simulators.swift_analytic import SwiftSimAnalytic
 from repro.simulators.swift_basic import SwiftSimBasic
 from repro.simulators.swift_memory import SwiftSimMemory
 from repro.tracegen.suites import app_names, make_app
@@ -26,6 +27,7 @@ from repro.utils.stats import geomean
 ACCEL = "accel-like"
 BASIC = "swift-basic"
 MEMORY = "swift-memory"
+ANALYTIC = "swift-analytic"
 
 
 # ----------------------------------------------------------------------
@@ -41,32 +43,41 @@ class Figure4Data:
 
     @property
     def mean_error(self) -> Dict[str, float]:
-        return {sim: self.suite.mean_error(sim) for sim in (BASIC, MEMORY, ACCEL)}
+        return {
+            sim: self.suite.mean_error(sim)
+            for sim in (BASIC, MEMORY, ANALYTIC, ACCEL)
+        }
 
     @property
     def geomean_speedup(self) -> Dict[str, float]:
         return {
-            sim: self.suite.geomean_speedup(sim, ACCEL) for sim in (BASIC, MEMORY)
+            sim: self.suite.geomean_speedup(sim, ACCEL)
+            for sim in (BASIC, MEMORY, ANALYTIC)
         }
 
     def render(self) -> str:
         lines = [
             f"FIGURE 4 — prediction error and speedup on {self.suite.gpu_name} "
             f"(scale={self.suite.scale})",
-            f"{'app':12s} {'err basic':>10s} {'err memory':>11s} {'err accel':>10s} "
-            f"{'spd basic':>10s} {'spd memory':>11s}",
+            f"{'app':12s} {'err basic':>10s} {'err memory':>11s} "
+            f"{'err analytic':>13s} {'err accel':>10s} "
+            f"{'spd basic':>10s} {'spd memory':>11s} {'spd analytic':>13s}",
         ]
         for row in self.suite.rows:
             lines.append(
                 f"{row.app_name:12s} {row.error_pct(BASIC):9.1f}% "
-                f"{row.error_pct(MEMORY):10.1f}% {row.error_pct(ACCEL):9.1f}% "
-                f"{row.speedup(BASIC, ACCEL):9.1f}x {row.speedup(MEMORY, ACCEL):10.1f}x"
+                f"{row.error_pct(MEMORY):10.1f}% "
+                f"{row.error_pct(ANALYTIC):12.1f}% {row.error_pct(ACCEL):9.1f}% "
+                f"{row.speedup(BASIC, ACCEL):9.1f}x {row.speedup(MEMORY, ACCEL):10.1f}x "
+                f"{row.speedup(ANALYTIC, ACCEL):12.1f}x"
             )
         means = self.mean_error
         speedups = self.geomean_speedup
         lines.append(
             f"{'MEAN/GEOMEAN':12s} {means[BASIC]:9.1f}% {means[MEMORY]:10.1f}% "
-            f"{means[ACCEL]:9.1f}% {speedups[BASIC]:9.1f}x {speedups[MEMORY]:10.1f}x"
+            f"{means[ANALYTIC]:12.1f}% {means[ACCEL]:9.1f}% "
+            f"{speedups[BASIC]:9.1f}x {speedups[MEMORY]:10.1f}x "
+            f"{speedups[ANALYTIC]:12.1f}x"
         )
         return "\n".join(lines)
 
@@ -78,6 +89,7 @@ class Figure4Data:
             row.app_name: {
                 "basic": row.error_pct(BASIC),
                 "memory": row.error_pct(MEMORY),
+                "analytic": row.error_pct(ANALYTIC),
                 "accel": row.error_pct(ACCEL),
             }
             for row in self.suite.rows
@@ -90,7 +102,7 @@ class Figure4Data:
                 errors,
                 title="prediction error (%)",
                 unit="%",
-                series_order=["basic", "memory", "accel"],
+                series_order=["basic", "memory", "analytic", "accel"],
             )
             + "\n\n"
             + log_scatter(speedups, title="swift-memory speedup over baseline")
@@ -111,6 +123,7 @@ def figure4(
             ACCEL: AccelSimLike(config),
             BASIC: SwiftSimBasic(config),
             MEMORY: SwiftSimMemory(config),
+            ANALYTIC: SwiftSimAnalytic(config),
         }
     )
     return Figure4Data(suite=suite)
@@ -224,7 +237,7 @@ class Figure6Data:
         """{gpu: {simulator: mean error}}."""
         return {
             suite.gpu_name: {
-                sim: suite.mean_error(sim) for sim in (BASIC, ACCEL)
+                sim: suite.mean_error(sim) for sim in (BASIC, ANALYTIC, ACCEL)
             }
             for suite in self.suites
         }
@@ -234,11 +247,13 @@ class Figure6Data:
         for suite in self.suites:
             lines.append(
                 f"  {suite.gpu_name:12s} swift-basic={suite.mean_error(BASIC):5.1f}%  "
+                f"swift-analytic={suite.mean_error(ANALYTIC):5.1f}%  "
                 f"accel-like={suite.mean_error(ACCEL):5.1f}%"
             )
             for row in suite.rows:
                 lines.append(
                     f"    {row.app_name:12s} basic={row.error_pct(BASIC):5.1f}% "
+                    f"analytic={row.error_pct(ANALYTIC):5.1f}% "
                     f"accel={row.error_pct(ACCEL):5.1f}%"
                 )
         return "\n".join(lines)
@@ -259,6 +274,7 @@ def figure6(
             {
                 ACCEL: AccelSimLike(config),
                 BASIC: SwiftSimBasic(config),
+                ANALYTIC: SwiftSimAnalytic(config),
             }
         )
         data.suites.append(suite)

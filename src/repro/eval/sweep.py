@@ -22,6 +22,7 @@ and IPC, ready for plotting or tabulation (``render()``).
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, List, Mapping, Sequence, Type
 
@@ -133,6 +134,54 @@ class DesignSpaceSweep:
                         total_cycles=run.total_cycles,
                         ipc=run.ipc,
                         wall_seconds=run.wall_time_seconds,
+                    )
+                )
+        return result
+
+    def run_batched(
+        self,
+        apps: Sequence[ApplicationTrace],
+        simulator_cls: Type = None,
+    ) -> SweepResult:
+        """Resolve the whole grid with one vectorized call per app.
+
+        Uses the closed-form tier's ``evaluate_batch``: every grid point
+        becomes one lane of a batched parameter array, so thousands of
+        (app, config) points cost one tasklist pass plus vectorized
+        arithmetic.  Each lane is bit-identical to what ``run`` with
+        ``SwiftSimAnalytic`` would report, point for point.
+        """
+        if simulator_cls is None:
+            from repro.simulators.swift_analytic import SwiftSimAnalytic
+
+            simulator_cls = SwiftSimAnalytic
+        if not hasattr(simulator_cls, "evaluate_batch"):
+            raise ConfigError(
+                f"{simulator_cls.__name__} has no evaluate_batch; "
+                f"use run() for engine-based simulators"
+            )
+        grid_points = list(self.configurations())
+        configs = [gpu for __, gpu in grid_points]
+        simulator = simulator_cls(self.base)
+        lanes = []
+        for app in apps:
+            started = time.perf_counter()
+            totals = simulator.evaluate_batch(app, configs)
+            share = (time.perf_counter() - started) / len(grid_points)
+            lanes.append((app, totals, share))
+        result = SweepResult()
+        # Emit in run()'s (configuration, app) order so the two paths
+        # produce interchangeable tables.
+        for lane, (overrides, __) in enumerate(grid_points):
+            for app, totals, share in lanes:
+                cycles = int(totals[lane])
+                result.points.append(
+                    SweepPoint(
+                        overrides=overrides,
+                        app_name=app.name,
+                        total_cycles=cycles,
+                        ipc=app.num_instructions / cycles if cycles else 0.0,
+                        wall_seconds=share,
                     )
                 )
         return result

@@ -82,6 +82,11 @@ class _LRUStack:
         return distance
 
 
+#: Public name for standalone stack-distance tracking (the analytic
+#: tier's pre-characterization pass runs one per kernel).
+LRUStack = _LRUStack
+
+
 class PCProfile:
     """Per-PC access classification tallies.
 

@@ -10,6 +10,9 @@ builds are just two plans over the same framework:
   contention for NoC/L2/DRAM;
 * ``SWIFT_MEMORY_PLAN`` — Basic, with the memory-access slot switched to
   the Eq. 1 analytical model;
+* ``SWIFT_ANALYTIC_PLAN`` — every slot closed-form (PPT-GPU style):
+  no engine at all, cycles come from vectorized occupancy/interval math
+  over a pre-characterized tasklist;
 * ``ACCEL_LIKE_PLAN`` — everything cycle-accurate (the baseline).
 
 Plans validate their choices against :data:`COMPONENTS` so a typo fails
@@ -25,24 +28,27 @@ from repro.errors import PlanError
 
 #: Component slots and the modeling choices each accepts.
 COMPONENTS: Dict[str, tuple] = {
-    # Block-to-SM assignment.
-    "block_scheduler": ("cycle_accurate",),
-    # Warp selection and issue. Always cycle-accurate in the paper's
-    # working example (it is the component under study).
-    "warp_scheduler": ("cycle_accurate",),
+    # Block-to-SM assignment. "analytical" = occupancy-limited waves.
+    "block_scheduler": ("cycle_accurate", "analytical"),
+    # Warp selection and issue. Cycle-accurate in the paper's working
+    # example (it is the component under study); "analytical" models
+    # issue as per-unit throughput bounds.
+    "warp_scheduler": ("cycle_accurate", "analytical"),
     # Instruction fetch / i-buffer / decode front end.
     "frontend": ("cycle_accurate", "elided"),
     # Operand collector and register-file bank conflicts.
     "operand_collector": ("cycle_accurate", "elided"),
-    # Arithmetic pipelines (paper §III-D1).
-    "alu_pipeline": ("cycle_accurate", "hybrid"),
+    # Arithmetic pipelines (paper §III-D1). "analytical" = dependence
+    # critical-path arithmetic over the pre-characterized tasklist.
+    "alu_pipeline": ("cycle_accurate", "hybrid", "analytical"),
     # Global/local memory path (paper §III-D2). "queued" is the hybrid
     # form: functional caches + reservation queues; "analytical" is Eq. 1.
     "memory": ("cycle_accurate", "queued", "analytical"),
     # Shared-memory access modeling.
     "shared_memory": ("cycle_accurate", "analytical"),
-    # Engine clocking: per-cycle ticking vs exact event jumping.
-    "clocking": ("per_cycle", "event_jump"),
+    # Engine clocking: per-cycle ticking vs exact event jumping vs no
+    # engine at all ("closed_form": cycles computed, never ticked).
+    "clocking": ("per_cycle", "event_jump", "closed_form"),
 }
 
 
@@ -117,3 +123,21 @@ SWIFT_BASIC_PLAN = ModelingPlan(
 
 #: Swift-Sim-Memory (paper §IV-A3): Basic + Eq. 1 analytical memory.
 SWIFT_MEMORY_PLAN = SWIFT_BASIC_PLAN.with_choice("memory", "analytical", name="swift-memory")
+
+#: Swift-Sim-Analytic: the fully closed-form end of the spectrum.  Every
+#: slot is analytical (PPT-GPU idiom): an architecture-independent
+#: pre-characterization pass over the trace plus vectorized
+#: occupancy/interval/Eq. 1 arithmetic — no engine, no modules, no state.
+SWIFT_ANALYTIC_PLAN = ModelingPlan(
+    "swift-analytic",
+    {
+        "block_scheduler": "analytical",
+        "warp_scheduler": "analytical",
+        "frontend": "elided",
+        "operand_collector": "elided",
+        "alu_pipeline": "analytical",
+        "memory": "analytical",
+        "shared_memory": "analytical",
+        "clocking": "closed_form",
+    },
+)

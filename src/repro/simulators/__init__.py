@@ -1,11 +1,13 @@
 """Assembled GPU performance simulators.
 
-Three simulators built from the same framework modules, differing only
+Four simulators built from the same framework modules, differing only
 in their :class:`~repro.sim.plan.ModelingPlan`:
 
 * :class:`AccelSimLike` — the fully cycle-accurate baseline,
 * :class:`SwiftSimBasic` — hybrid ALU pipeline (paper §III-D1),
 * :class:`SwiftSimMemory` — Basic + Eq. 1 analytical memory (§III-D2),
+* :class:`SwiftSimAnalytic` — fully closed-form over pre-characterized
+  tasklists (PPT-GPU idiom; supports batched ``evaluate_batch``),
 
 plus the multiprocess parallel driver the paper's §IV-B2 speedup analysis
 uses.
@@ -17,6 +19,7 @@ from repro.simulators.interval import IntervalSimulator
 from repro.simulators.parallel import simulate_apps_parallel
 from repro.simulators.results import KernelResult, SimulationResult
 from repro.simulators.sampled import SampledSimulator
+from repro.simulators.swift_analytic import SwiftSimAnalytic
 from repro.simulators.swift_basic import SwiftSimBasic
 from repro.simulators.swift_memory import SwiftSimMemory
 
@@ -28,6 +31,7 @@ __all__ = [
     "PlanSimulator",
     "SampledSimulator",
     "SimulationResult",
+    "SwiftSimAnalytic",
     "SwiftSimBasic",
     "SwiftSimMemory",
     "simulate_apps_parallel",

@@ -1,0 +1,140 @@
+"""Degenerate trace fixtures for cross-simulator exactness tests.
+
+These are *not* registered in :data:`repro.tracegen.suites.APPLICATIONS`
+— they are not workloads, they are calibration points: kernels so simple
+that the closed-form analytic tier and the engine-based hybrid tiers
+must agree **exactly**, cycle for cycle.  The differential and property
+suites (``tests/test_analytic_differential.py``) pin the analytic model
+to the engines on these shapes, so a regression in either side shows up
+as a cycle-count mismatch rather than a silently-plausible error drift.
+
+All fixtures are pure functions of their arguments: no RNG, fixed PC
+layout, fully-active masks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.frontend.trace import (
+    ApplicationTrace,
+    BlockTrace,
+    KernelTrace,
+    TraceInstruction,
+    WarpTrace,
+)
+
+#: SASS instruction size for PC layout.
+_PC_STEP = 16
+
+#: First general-purpose register the fixtures allocate from.
+_FIRST_REG = 8
+
+
+def _warp(instructions: Sequence[TraceInstruction], warp_id: int = 0) -> WarpTrace:
+    instructions = list(instructions)
+    next_pc = instructions[-1].pc + _PC_STEP if instructions else 0
+    instructions.append(TraceInstruction(next_pc, "EXIT"))
+    return WarpTrace(warp_id, instructions)
+
+
+def _single_warp_app(
+    name: str, instructions: Sequence[TraceInstruction]
+) -> ApplicationTrace:
+    kernel = KernelTrace(f"{name}_kernel", [BlockTrace(0, [_warp(instructions)])])
+    return ApplicationTrace(name, [kernel])
+
+
+def serial_chain_app(length: int, opcode: str = "IADD3") -> ApplicationTrace:
+    """One warp, one block: a pure serial dependence chain.
+
+    Every instruction consumes its predecessor's destination, so the
+    warp's solo time is fully latency-bound — the tightest possible
+    pin on the dependence-chain arithmetic.
+    """
+    instructions: List[TraceInstruction] = []
+    for i in range(length):
+        instructions.append(
+            TraceInstruction(
+                i * _PC_STEP,
+                opcode,
+                dest_regs=(_FIRST_REG + i + 1,),
+                src_regs=(_FIRST_REG + i,),
+            )
+        )
+    return _single_warp_app(f"serial{length}", instructions)
+
+
+def independent_alu_app(length: int, opcode: str = "IADD3") -> ApplicationTrace:
+    """One warp, one block: independent same-unit instructions.
+
+    No register dependences at all, so the warp's solo time is fully
+    issue-bound — pinning the dispatch-interval arithmetic.
+    """
+    instructions = [
+        TraceInstruction(
+            i * _PC_STEP, opcode, dest_regs=(_FIRST_REG + i,), src_regs=()
+        )
+        for i in range(length)
+    ]
+    return _single_warp_app(f"independent{length}", instructions)
+
+
+def compute_only_app(
+    num_blocks: int = 2,
+    warps_per_block: int = 2,
+    chain_length: int = 8,
+    opcode: str = "IADD3",
+) -> ApplicationTrace:
+    """Multi-warp, multi-block, compute-only kernel (no memory at all).
+
+    Every warp runs the identical serial chain, so the kernel exercises
+    occupancy / wave / issue-port math without any memory modeling —
+    the shape on which all simulator tiers should agree most closely.
+    """
+    blocks = []
+    for block_id in range(num_blocks):
+        warps = []
+        for warp_id in range(warps_per_block):
+            instructions = [
+                TraceInstruction(
+                    i * _PC_STEP,
+                    opcode,
+                    dest_regs=(_FIRST_REG + i + 1,),
+                    src_regs=(_FIRST_REG + i,),
+                )
+                for i in range(chain_length)
+            ]
+            warps.append(_warp(instructions, warp_id=warp_id))
+        blocks.append(BlockTrace(block_id, warps))
+    kernel = KernelTrace("compute_only_kernel", blocks)
+    return ApplicationTrace(
+        f"compute{num_blocks}x{warps_per_block}x{chain_length}", [kernel]
+    )
+
+
+def mixed_unit_app(length_per_unit: int = 4) -> ApplicationTrace:
+    """One warp cycling through INT/SP/SFU chains (latency diversity)."""
+    instructions: List[TraceInstruction] = []
+    pc = 0
+    reg = _FIRST_REG
+    for opcode in ("IADD3", "FFMA", "MUFU.RCP"):
+        for __ in range(length_per_unit):
+            instructions.append(
+                TraceInstruction(
+                    pc, opcode, dest_regs=(reg + 1,), src_regs=(reg,)
+                )
+            )
+            pc += _PC_STEP
+            reg += 1
+    return _single_warp_app("mixed_units", instructions)
+
+
+#: The degenerate suite the differential tests sweep.
+DEGENERATE_FIXTURES = {
+    "serial4": lambda: serial_chain_app(4),
+    "serial16": lambda: serial_chain_app(16),
+    "independent4": lambda: independent_alu_app(4),
+    "independent16": lambda: independent_alu_app(16),
+    "mixed_units": mixed_unit_app,
+}

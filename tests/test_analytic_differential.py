@@ -1,0 +1,193 @@
+"""Differential tests holding the closed-form analytic tier accountable.
+
+The analytic tier's failure mode is *silently plausible wrong numbers*,
+so these tests pin it against the engine-based simulators three ways:
+
+* **exact agreement** on degenerate fixtures (single-warp and
+  compute-only kernels) where the closed form has no approximation left
+  to make — any drift is a bug, not an accuracy tradeoff;
+* **bounded divergence** on the real tracegen suite, through the same
+  ``differential_check`` machinery ``repro check`` ships;
+* **monotonicity** under config scaling — giving the GPU strictly more
+  resources must never increase predicted cycles.
+"""
+
+import pytest
+
+from repro.check.differential import differential_check
+from repro.check.runner import run_checks
+from repro.eval.sweep import DesignSpaceSweep, apply_override
+from repro.simulators.swift_analytic import SwiftSimAnalytic
+from repro.simulators.swift_basic import SwiftSimBasic
+from repro.simulators.swift_memory import SwiftSimMemory
+from repro.tracegen.fixtures import (
+    DEGENERATE_FIXTURES,
+    compute_only_app,
+    independent_alu_app,
+    serial_chain_app,
+)
+from repro.tracegen.suites import make_app
+
+from conftest import make_tiny_gpu
+
+np = pytest.importorskip("numpy")
+
+#: Tracegen subset for the bounded-divergence sweeps (kept small: these
+#: run full engine simulations per app).
+SUITE_APPS = ("sm", "gemm", "bfs", "2dconv", "atax", "lstm")
+
+
+# ----------------------------------------------------------------------
+# exact agreement on degenerate kernels
+
+
+class TestDegenerateExactness:
+    @pytest.mark.parametrize("fixture_name", sorted(DEGENERATE_FIXTURES))
+    def test_single_warp_fixtures_match_all_tiers(self, tiny_gpu, fixture_name):
+        app = DEGENERATE_FIXTURES[fixture_name]()
+        basic = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False)
+        memory = SwiftSimMemory(tiny_gpu).simulate(app, gather_metrics=False)
+        analytic = SwiftSimAnalytic(tiny_gpu).simulate(app)
+        assert analytic.total_cycles == basic.total_cycles == memory.total_cycles
+
+    @pytest.mark.parametrize("length", [1, 2, 5, 10, 25, 64])
+    def test_serial_chain_exact(self, tiny_gpu, length):
+        app = serial_chain_app(length)
+        basic = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False)
+        analytic = SwiftSimAnalytic(tiny_gpu).simulate(app)
+        assert analytic.total_cycles == basic.total_cycles
+
+    @pytest.mark.parametrize("length", [1, 2, 5, 10, 25, 64])
+    def test_independent_sequence_exact(self, tiny_gpu, length):
+        app = independent_alu_app(length)
+        basic = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False)
+        analytic = SwiftSimAnalytic(tiny_gpu).simulate(app)
+        assert analytic.total_cycles == basic.total_cycles
+
+    @pytest.mark.parametrize("shape", [(2, 2, 8), (4, 4, 16), (8, 2, 12)])
+    def test_compute_only_multiwarp_exact(self, tiny_gpu, shape):
+        """One serial chain per warp, several blocks: occupancy/wave math
+        composes with the chain arithmetic without introducing error."""
+        num_blocks, warps_per_block, chain = shape
+        app = compute_only_app(num_blocks, warps_per_block, chain)
+        basic = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False)
+        analytic = SwiftSimAnalytic(tiny_gpu).simulate(app)
+        assert analytic.total_cycles == basic.total_cycles
+
+
+# ----------------------------------------------------------------------
+# the shipped differential machinery
+
+
+class TestDifferentialMachinery:
+    @pytest.mark.parametrize("app_name", SUITE_APPS)
+    def test_no_violations_vs_basic(self, tiny_gpu, app_name):
+        """The analytic tier stays inside the wild-divergence bound the
+        differential pillar enforces, app by app."""
+        app = make_app(app_name, scale="tiny")
+        findings = differential_check(
+            tiny_gpu,
+            app,
+            simulator_classes=[SwiftSimBasic, SwiftSimMemory, SwiftSimAnalytic],
+        )
+        violations = [f for f in findings if f.severity == "violation"]
+        assert not violations, [f.message for f in violations]
+
+    def test_runner_includes_analytic_by_default(self, tiny_gpu):
+        """`repro check differential` picks up swift-analytic without any
+        explicit simulator selection."""
+        report = run_checks(
+            tiny_gpu, mode="differential", apps=["sm"], scale="tiny"
+        )
+        subjects = " ".join(f.subject for f in report.findings)
+        assert "swift-analytic" in subjects
+        assert report.ok, [
+            f.message for f in report.findings if f.severity == "violation"
+        ]
+
+    @pytest.mark.parametrize("app_name", SUITE_APPS[:3])
+    def test_per_kernel_error_bounded(self, tiny_gpu, app_name):
+        """Kernel-by-kernel (not just in total), the analytic prediction
+        stays within the differential tolerance of the hybrid tier."""
+        app = make_app(app_name, scale="tiny")
+        basic = SwiftSimBasic(tiny_gpu).simulate(app, gather_metrics=False)
+        analytic = SwiftSimAnalytic(tiny_gpu).simulate(app)
+        for base_kernel, model_kernel in zip(basic.kernels, analytic.kernels):
+            assert base_kernel.name == model_kernel.name
+            divergence = (
+                abs(model_kernel.cycles - base_kernel.cycles)
+                / max(1, base_kernel.cycles)
+            )
+            assert divergence <= 1.0, (
+                f"{app_name}/{base_kernel.name}: analytic "
+                f"{model_kernel.cycles} vs basic {base_kernel.cycles} "
+                f"({divergence:.0%})"
+            )
+
+
+# ----------------------------------------------------------------------
+# monotonicity under config scaling
+
+
+def _scaled(gpu, **paths):
+    for path, factor in paths.items():
+        current = gpu
+        for part in path.split(".")[:-1]:
+            current = getattr(current, part)
+        value = getattr(current, path.split(".")[-1])
+        gpu = apply_override(gpu, path, value * factor)
+    return gpu
+
+
+class TestMonotonicity:
+    """Strictly more hardware must never predict strictly more cycles."""
+
+    SCALINGS = {
+        "more_sms": {"num_sms": 4},
+        "bigger_l1": {"l1.size_bytes": 8},
+        "bigger_l2": {"l2.size_bytes": 8},
+        "everything": {"num_sms": 2, "l1.size_bytes": 4, "l2.size_bytes": 4},
+    }
+
+    @pytest.mark.parametrize("app_name", SUITE_APPS[:4])
+    @pytest.mark.parametrize("scaling", sorted(SCALINGS))
+    def test_scaling_never_slower(self, tiny_gpu, app_name, scaling):
+        app = make_app(app_name, scale="tiny")
+        scaled = _scaled(tiny_gpu, **self.SCALINGS[scaling])
+        simulator = SwiftSimAnalytic(tiny_gpu)
+        cycles = simulator.evaluate_batch(app, [tiny_gpu, scaled])
+        assert cycles[1] <= cycles[0], (
+            f"{app_name} under {scaling}: {cycles[0]} -> {cycles[1]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# batched sweep path
+
+
+class TestBatchedSweep:
+    def test_run_batched_matches_run_pointwise(self, tiny_gpu):
+        """The vectorized sweep path reports, point for point, exactly
+        what the scalar loop would."""
+        sweep = DesignSpaceSweep(
+            tiny_gpu,
+            {
+                "l1.size_bytes": [8 * 1024, 32 * 1024],
+                "num_sms": [4, 8],
+            },
+        )
+        apps = [make_app("sm", scale="tiny"), make_app("gemm", scale="tiny")]
+        scalar = sweep.run(SwiftSimAnalytic, apps)
+        batched = sweep.run_batched(apps)
+        assert len(scalar.points) == len(batched.points)
+        for left, right in zip(scalar.points, batched.points):
+            assert left.overrides == right.overrides
+            assert left.app_name == right.app_name
+            assert left.total_cycles == right.total_cycles
+
+    def test_run_batched_rejects_engine_simulators(self, tiny_gpu):
+        from repro.errors import ConfigError
+
+        sweep = DesignSpaceSweep(tiny_gpu, {"num_sms": [4, 8]})
+        with pytest.raises(ConfigError):
+            sweep.run_batched([make_app("sm", scale="tiny")], SwiftSimBasic)

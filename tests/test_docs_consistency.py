@@ -33,7 +33,7 @@ class TestDesignDoc:
 
     def test_experiment_ids_cover_all_tables_and_figures(self):
         text = (REPO / "DESIGN.md").read_text()
-        for experiment_id in ("T1", "T2", "F4e", "F4s", "F5", "F6"):
+        for experiment_id in ("T1", "T2", "F4e", "F4s", "F4a", "F5", "F6"):
             assert f"| {experiment_id} |" in text, experiment_id
 
 
@@ -42,7 +42,8 @@ class TestReadme:
         text = (REPO / "README.md").read_text()
         import repro
         for name in ("AccelSimLike", "SwiftSimBasic", "SwiftSimMemory",
-                     "get_preset", "make_app", "ModelingPlan", "PlanSimulator"):
+                     "SwiftSimAnalytic", "get_preset", "make_app",
+                     "ModelingPlan", "PlanSimulator"):
             assert name in text
             assert hasattr(repro, name), name
 
