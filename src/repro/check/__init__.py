@@ -3,7 +3,7 @@
 Swift-Sim's speedups are *exactness claims*: clock jumping and hybrid
 modules must agree with per-cycle, cycle-accurate execution wherever
 their plans coincide.  This package turns those claims into
-machine-checked invariants, in seven pillars:
+machine-checked invariants, in eight pillars:
 
 1. :class:`~repro.check.sanitizer.EngineSanitizer` — runtime checker
    hooks on the engine (monotonic ticks, stable same-cycle ordering, no
@@ -30,7 +30,15 @@ machine-checked invariants, in seven pillars:
    bit-identical to unguarded runs, a run killed at its first
    checkpoint and resumed must be bit-identical to an uninterrupted
    one, and injected saboteurs must be detected with forensic bundles
-   (see ``docs/robustness-guard.md``).
+   (see ``docs/robustness-guard.md``);
+8. :func:`~repro.check.serve.serve_check` — the sweep service
+   (:mod:`repro.serve`) killed mid-sweep and restarted must converge
+   bit-identically to an uninterrupted server, grid re-submission must
+   be >90% cache hits, and degraded answers must carry their tags and
+   error bounds while the exact store stays clean (see
+   ``docs/serving.md``).  Spawns server subprocesses, so it runs only
+   when requested explicitly (``--mode serve``), never under
+   ``--mode all``.
 
 ``repro check`` (see :mod:`repro.cli`) drives all of this from the
 command line and emits a machine-readable JSON report; see
@@ -48,6 +56,7 @@ from repro.check.report import CheckFinding, CheckReport
 from repro.check.resilience import resilience_check
 from repro.check.runner import MODES, run_checks, select_apps
 from repro.check.sanitizer import EngineSanitizer
+from repro.check.serve import serve_check
 from repro.check.shadow import TICK_OBSERVER_COUNTERS, shadow_jump_check
 from repro.check.static import static_check
 
@@ -65,6 +74,7 @@ __all__ = [
     "resilience_check",
     "run_checks",
     "select_apps",
+    "serve_check",
     "shadow_jump_check",
     "static_check",
 ]

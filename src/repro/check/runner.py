@@ -23,10 +23,12 @@ from repro.check.sanitizer import EngineSanitizer
 from repro.check.shadow import shadow_jump_check
 from repro.check.static import static_check
 
-#: The verification modes ``repro check`` accepts.
+#: The verification modes ``repro check`` accepts.  "all" covers the
+#: in-process pillars; "serve" spawns server subprocesses and binds
+#: unix sockets, so it only runs when requested by name.
 MODES = (
     "shadow-jump", "differential", "determinism", "sanitize",
-    "resilience", "static", "guard", "all",
+    "resilience", "static", "guard", "serve", "all",
 )
 
 
@@ -180,4 +182,14 @@ def run_checks(
         ))
         report.checks_run += len(names) * len(classes)
         step("guard")
+    if mode == "serve":
+        # Kill/resume convergence, cache-hit ratio, and degradation
+        # tagging against real server subprocesses (docs/serving.md).
+        # Deliberately not part of "all": it binds sockets and spawns
+        # processes, which plain library consumers may not allow.
+        from repro.check.serve import serve_check
+
+        report.extend(serve_check(config, names, scale=scale))
+        report.checks_run += 3
+        step("serve")
     return report

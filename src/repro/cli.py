@@ -21,6 +21,9 @@ Everything a downstream user needs without writing Python::
     python -m repro guard    --app bfs --simulator accel-like \\
                              --checkpoint-dir ckpts --resume
     python -m repro chaos    --smoke
+    python -m repro serve    --socket serve.sock --store serve-store
+    python -m repro submit   --socket serve.sock --apps bfs,gemm \\
+                             --grid "num_sms=34,68"
     python -m repro lint     src --fail-on error
 
 All commands return a process exit code of 0 on success; configuration
@@ -330,6 +333,77 @@ def _build_parser() -> argparse.ArgumentParser:
              "seed 2025) regardless of other selection flags",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the sweep-as-a-service server on a unix socket "
+             "(see docs/serving.md)",
+    )
+    serve.add_argument("--socket", default="serve.sock",
+                       help="unix socket path to bind")
+    serve.add_argument("--store", default="serve-store",
+                       help="content-addressed result store directory")
+    serve.add_argument("--journal", default="serve.journal",
+                       help="service journal path (crash recovery)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="supervised worker processes per job "
+                            "(1 = in-process execution)")
+    serve.add_argument("--max-attempts", type=int, default=3)
+    serve.add_argument("--timeout", type=float, default=60.0,
+                       help="per-attempt wall-clock budget (seconds)")
+    serve.add_argument("--max-depth", type=int, default=64,
+                       help="admission control: max queued jobs")
+    serve.add_argument("--max-pending-seconds", type=float, default=120.0,
+                       help="admission control: max estimated queued work")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures that open a circuit")
+    serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       help="seconds an open circuit waits before its "
+                            "half-open probe")
+    serve.add_argument("--baseline", default="benchmarks/baseline_bench.json",
+                       help="bench baseline used to calibrate the "
+                            "admission cost model")
+    serve.add_argument("--die-at-job", type=int, default=0,
+                       help="testing: exit(9) right after admitting the "
+                            "Nth job — the deterministic SIGKILL "
+                            "stand-in for crash-recovery checks")
+    serve.add_argument("--chaos-seed", type=int, default=2025)
+    serve.add_argument("--crash-rate", type=float, default=0.0,
+                       help="chaos: probability an execution attempt "
+                            "crashes (0 disables chaos)")
+    serve.add_argument("--hang-rate", type=float, default=0.0)
+    serve.add_argument("--corrupt-rate", type=float, default=0.0)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit jobs (or a sweep grid) to a running sweep server",
+    )
+    submit.add_argument("--socket", default="serve.sock",
+                        help="unix socket of the server")
+    submit.add_argument("--apps", help="comma-separated applications")
+    submit.add_argument("--gpu", default="rtx2080ti", help="GPU preset name")
+    submit.add_argument("--config",
+                        help="path to a GPU config JSON (instead of --gpu)")
+    submit.add_argument("--scale", default="tiny", help="workload scale")
+    submit.add_argument(
+        "--simulator", default="swift-basic", choices=sorted(SIMULATORS),
+    )
+    submit.add_argument(
+        "--grid", metavar="SPEC",
+        help="sweep grid over config fields, e.g. "
+             "'l1.size_bytes=16384,65536;num_sms=34,68'",
+    )
+    submit.add_argument("--deadline", type=float,
+                        help="per-job deadline in seconds")
+    submit.add_argument("--no-degraded", action="store_true",
+                        help="fail with a typed error instead of "
+                             "accepting a degraded (analytic) answer")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="client-side socket timeout")
+    submit.add_argument("--stats", action="store_true",
+                        help="print server stats and exit")
+    submit.add_argument("--drain", action="store_true",
+                        help="drain and shut down the server")
+
     from repro.analyze import FAIL_ON
 
     lint = commands.add_parser(
@@ -577,20 +651,51 @@ def _cmd_check(args) -> None:
 
 
 def _cmd_eval(args) -> None:
+    from repro.errors import ConfigError
     from repro.eval.harness import EvaluationHarness
     from repro.eval.report import render_suite
     from repro.resilience.journal import RunJournal
+    from repro.serve.keys import config_hash, workload_hash
 
     gpu = _resolve_gpu(args)
     journal = None
     journal_path = args.resume or args.journal
+    cfg_hash = config_hash(gpu)
+    wl_hash = workload_hash(_apps_arg(args) or app_names(), args.scale)
     if args.resume:
         journal = RunJournal.load(args.resume)
+        recorded_cfg = journal.header.get("config_hash", "")
+        recorded_wl = journal.header.get("workload_hash", "")
+        if recorded_cfg and recorded_cfg != cfg_hash:
+            raise ConfigError(
+                f"journal {args.resume} was written for config "
+                f"{recorded_cfg[:12]}... but this invocation resolves to "
+                f"{cfg_hash[:12]}...; refusing to mix results from "
+                f"different configurations (rerun without --resume, or "
+                f"pass the original --gpu/--config)"
+            )
+        # Journal entries key on the app *name*, so a scale change would
+        # silently reuse results computed from different traces — refuse.
+        # A changed app selection is safe (unmatched triples simply
+        # re-run), so only note it.
+        recorded_scale = journal.header.get("scale", "")
+        if recorded_scale and recorded_scale != args.scale:
+            raise ConfigError(
+                f"journal {args.resume} was written at scale "
+                f"{recorded_scale!r} but this invocation uses "
+                f"{args.scale!r}; the app traces differ, so journaled "
+                f"results cannot be reused (rerun without --resume, or "
+                f"pass --scale {recorded_scale})"
+            )
+        if recorded_wl and recorded_wl != wl_hash:
+            print(f"note: app selection differs from the journal's; "
+                  f"journaled triples are reused, the rest run fresh")
         print(f"resuming from {args.resume}: {len(journal)} completed "
               f"triple(s) journaled")
     elif args.journal:
         journal = RunJournal.open(args.journal, gpu_name=gpu.name,
-                                  scale=args.scale)
+                                  scale=args.scale, config_hash=cfg_hash,
+                                  workload_hash=wl_hash)
     sim_names = [name.strip() for name in args.simulators.split(",")
                  if name.strip()]
     unknown = [name for name in sim_names if name not in SIMULATORS]
@@ -864,6 +969,119 @@ class _CheckFailed(Exception):
     """Signals a completed check run that found violations (exit code 1)."""
 
 
+def _cmd_serve(args) -> None:
+    import asyncio
+    import os
+
+    from repro.resilience.chaos import ChaosPlan
+    from repro.resilience.policy import RetryPolicy
+    from repro.serve import (
+        AdmissionController,
+        BreakerBoard,
+        ResultStore,
+        ServeJournal,
+        SweepService,
+    )
+    from repro.serve.admission import calibrated_cost_model
+
+    store = ResultStore(args.store)
+    if os.path.exists(args.journal):
+        journal = ServeJournal.load(args.journal)
+    else:
+        journal = ServeJournal.create(args.journal, socket_path=args.socket)
+    cost_model = calibrated_cost_model(
+        args.baseline,
+        lambda app, scale: make_app(app, scale=scale).num_instructions,
+    )
+    chaos = None
+    if args.crash_rate > 0 or args.hang_rate > 0 or args.corrupt_rate > 0:
+        chaos = ChaosPlan(
+            seed=args.chaos_seed,
+            crash_rate=args.crash_rate,
+            hang_rate=args.hang_rate,
+            corrupt_rate=args.corrupt_rate,
+        )
+        print(f"chaos armed: crash={args.crash_rate} hang={args.hang_rate} "
+              f"corrupt={args.corrupt_rate} seed={args.chaos_seed}")
+    service = SweepService(
+        store,
+        journal,
+        policy=RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_delay=0.01,
+            timeout_seconds=args.timeout,
+        ),
+        chaos=chaos,
+        admission=AdmissionController(
+            cost_model,
+            max_depth=args.max_depth,
+            max_pending_seconds=args.max_pending_seconds,
+        ),
+        breakers=BreakerBoard(
+            threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown,
+        ),
+        supervisor_workers=args.workers,
+        die_at_job=args.die_at_job,
+    )
+    print(f"serving on {args.socket} (store {args.store}, "
+          f"journal {args.journal}, {len(store)} cached entr(y/ies))",
+          flush=True)
+    try:
+        asyncio.run(service.serve(args.socket))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        journal.close()
+    print(f"server stopped ({service.stats.to_dict()})")
+
+
+def _cmd_submit(args) -> None:
+    from repro.serve import SweepClient, build_grid, replay_grid
+    from repro.serve.client import parse_grid_spec
+
+    with SweepClient(args.socket, timeout=args.timeout) as client:
+        if args.stats:
+            stats = client.stats()
+            print(f"stats: {stats.get('stats')}")
+            print(f"breakers: {stats.get('breakers')}")
+            print(f"queue: {stats.get('queue')}")
+            print(f"store entries: {stats.get('store_entries')}")
+            return
+        if args.drain:
+            response = client.drain()
+            print(f"drained (settled {response.get('settled')} job(s))")
+            return
+        apps = _apps_arg(args)
+        if not apps:
+            raise SwiftSimError("submit needs --apps (or --stats/--drain)")
+        base = _resolve_gpu(args)
+        grid = parse_grid_spec(args.grid) if args.grid else {}
+        requests = build_grid(
+            base, grid, apps, args.scale, args.simulator,
+            allow_degraded=not args.no_degraded,
+        )
+        if args.deadline:
+            for request in requests:
+                request["deadline_seconds"] = args.deadline
+        summary = replay_grid(client, requests)
+        for request, response in zip(requests, summary["responses"]):
+            if response.get("status") != "ok":
+                print(f"  ERROR {request['app']:12s} "
+                      f"[{response.get('kind')}] {response.get('message')}")
+                continue
+            tag = ("cached" if response.get("cached") else
+                   f"degraded ±{response.get('error_bound_pct')}%"
+                   if response.get("degraded") else "exact")
+            cycles = response["result"]["total_cycles"]
+            print(f"  ok    {request['app']:12s} {cycles:>12,d} cycles "
+                  f"[{tag}]")
+        print(f"submitted {summary['total']}: {summary['hits']} cache "
+              f"hit(s), {summary['degraded']} degraded, "
+              f"{summary['errors']} error(s), "
+              f"hit_ratio={summary['hit_ratio']:.2f}")
+
+
 _COMMANDS = {
     "apps": _cmd_apps,
     "presets": _cmd_presets,
@@ -881,6 +1099,8 @@ _COMMANDS = {
     "eval": _cmd_eval,
     "guard": _cmd_guard,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "lint": _cmd_lint,
 }
 

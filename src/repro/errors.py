@@ -144,6 +144,61 @@ class WorkloadError(SwiftSimError):
     """A synthetic workload specification is invalid."""
 
 
+class ServeError(SwiftSimError):
+    """The sweep service (:mod:`repro.serve`) was misused or reached an
+    inconsistent state (malformed request, unusable store entry, ...)."""
+
+
+class LoadShedError(ServeError):
+    """Base class for typed load-shed responses: the service *chose* not
+    to execute a job to protect itself.  Every subclass corresponds to a
+    rung of the degradation ladder documented in ``docs/serving.md`` —
+    callers that allow degraded answers get the analytic tier instead of
+    this error."""
+
+    #: Short machine-readable shed kind, stable across releases (it is
+    #: part of the wire protocol).
+    kind = "shed"
+
+
+class QueueSaturated(LoadShedError):
+    """Admission control rejected a job: the bounded queue is full, by
+    depth or by the cost model's estimated pending seconds."""
+
+    kind = "queue_saturated"
+
+    def __init__(self, message: str, *, depth: int = 0,
+                 pending_cost: float = 0.0) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.pending_cost = pending_cost
+
+
+class CircuitOpen(LoadShedError):
+    """The per-(simulator, config-region) circuit breaker is open:
+    recent executions failed repeatedly, so new exact runs are refused
+    until a half-open probe succeeds."""
+
+    kind = "circuit_open"
+
+    def __init__(self, message: str, *, breaker_key: str = "") -> None:
+        super().__init__(message)
+        self.breaker_key = breaker_key
+
+
+class DeadlineExceeded(LoadShedError):
+    """A job missed its per-job deadline (queue wait plus execution,
+    retries included)."""
+
+    kind = "deadline_exceeded"
+
+
+class DegradationUnavailable(ServeError):
+    """The degradation ladder bottomed out: the exact tier was refused
+    or failed AND the analytic fallback cannot answer (numpy missing, or
+    the request opted out of degraded answers)."""
+
+
 class TaskFailure(SwiftSimError):
     """A supervised task failed terminally (all retries exhausted).
 

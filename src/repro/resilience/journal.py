@@ -1,20 +1,26 @@
-"""Checkpoint/resume journal for sweep runs.
+"""Checkpoint/resume journals for sweep runs.
 
-A :class:`RunJournal` is a JSON-lines file: one header line, then one
-line per completed ``(app, gpu, simulator)`` triple carrying the full
-(metrics-free) :class:`~repro.simulators.results.SimulationResult`.
-Durability contract:
+Two layers live here:
 
-* the header is written via temp-file + atomic ``os.replace`` so a
-  half-created journal never exists;
-* every appended record is flushed and ``fsync``'d before ``record``
-  returns, so a killed sweep loses at most the in-flight line;
-* ``load`` tolerates a torn trailing line (the crash case) and ignores
-  it — resuming re-runs that one triple.
+* :class:`JsonLinesJournal` — the reusable durability discipline: a
+  JSON-lines file whose header lands via temp-file + atomic
+  ``os.replace`` (a half-created journal never exists), whose appends
+  are flushed and ``fsync``'d before returning (a killed writer loses at
+  most the in-flight line), and whose loader tolerates a torn trailing
+  line by truncating it away before the first new append.  The service
+  journal (:mod:`repro.serve.journal`) builds on the same base.
+* :class:`RunJournal` — the sweep journal: one line per completed
+  ``(app, gpu, simulator)`` triple carrying the full (metrics-free)
+  :class:`~repro.simulators.results.SimulationResult`.
 
 Because simulation here is deterministic (see ``docs/verification.md``),
 replaying the missing triples after a resume reproduces the interrupted
 sweep bit-identically — asserted by ``repro check --mode resilience``.
+
+The header optionally records content hashes of the invocation that
+created the journal (``config_hash``, ``workload_hash`` — see
+:mod:`repro.serve.keys`); ``repro eval --resume`` refuses to mix results
+from a different configuration or workload by comparing them.
 """
 
 from __future__ import annotations
@@ -78,13 +84,20 @@ def result_from_dict(payload: Dict) -> SimulationResult:
         raise SimulationError(f"malformed journal record: {exc}") from exc
 
 
-class RunJournal:
-    """Append-only record of completed simulation triples."""
+class JsonLinesJournal:
+    """Append-only JSON-lines file with the journal durability contract.
+
+    Subclasses set :attr:`KIND` (the header's ``journal`` field; empty
+    accepts legacy headers without one) and implement :meth:`_ingest`
+    to absorb one non-header record during load.
+    """
+
+    #: Value of the header's ``journal`` field ("" = legacy, unchecked).
+    KIND = ""
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        self._completed: Dict[TripleKey, SimulationResult] = {}
-        self._attempts: Dict[TripleKey, int] = {}
+        self.header: Dict = {}
         self._handle = None
         #: Byte length of the valid line prefix; a torn trailing line
         #: (crash mid-append) past this point is truncated away before
@@ -95,16 +108,14 @@ class RunJournal:
     # creation / loading
 
     @classmethod
-    def create(cls, path: str, gpu_name: str = "", scale: str = "") -> "RunJournal":
+    def create(cls, path: str, **header_fields) -> "JsonLinesJournal":
         """Create a fresh journal (atomic: header lands via rename)."""
         journal = cls(path)
         directory = os.path.dirname(os.path.abspath(journal.path)) or "."
-        header = {
-            "kind": "header",
-            "version": JOURNAL_VERSION,
-            "gpu": gpu_name,
-            "scale": scale,
-        }
+        header = {"kind": "header", "version": JOURNAL_VERSION}
+        if cls.KIND:
+            header["journal"] = cls.KIND
+        header.update(header_fields)
         fd, temp_path = tempfile.mkstemp(
             dir=directory, prefix=".journal-", suffix=".tmp"
         )
@@ -118,10 +129,11 @@ class RunJournal:
             if os.path.exists(temp_path):
                 os.unlink(temp_path)
             raise
+        journal.header = header
         return journal
 
     @classmethod
-    def load(cls, path: str) -> "RunJournal":
+    def load(cls, path: str) -> "JsonLinesJournal":
         """Open an existing journal, tolerating a torn trailing line."""
         journal = cls(path)
         if not os.path.exists(path):
@@ -134,7 +146,7 @@ class RunJournal:
         for index, line in enumerate(lines):
             is_last = index == len(lines) - 1
             if not line.endswith("\n"):
-                # Torn final write from a killed sweep: even if it
+                # Torn final write from a killed writer: even if it
                 # happens to parse, the fsync contract only covers
                 # complete lines — drop it and let a resume re-run it.
                 break
@@ -146,7 +158,7 @@ class RunJournal:
                 record = json.loads(stripped)
             except json.JSONDecodeError:
                 if is_last:
-                    break  # torn final write from a killed sweep
+                    break  # torn final write from a killed writer
                 raise SimulationError(
                     f"journal {path!r} line {index + 1} is corrupt "
                     f"mid-file: {stripped[:60]!r}"
@@ -163,26 +175,114 @@ class RunJournal:
                         f"journal {path!r} has version {version}, "
                         f"expected {JOURNAL_VERSION}"
                     )
+                declared = record.get("journal", "")
+                if cls.KIND and declared and declared != cls.KIND:
+                    raise SimulationError(
+                        f"journal {path!r} is a {declared!r} journal, "
+                        f"not {cls.KIND!r}"
+                    )
+                journal.header = record
                 saw_header = True
-            elif kind == "result":
-                result = result_from_dict(record["result"])
-                key = (
-                    result.app_name, result.gpu_name, result.simulator_name
-                )
-                journal._completed[key] = result
-                journal._attempts[key] = record.get("attempts", 1)
+            else:
+                journal._ingest(record)
             valid_bytes += len(line.encode("utf-8"))
         if not saw_header:
             raise SimulationError(f"journal {path!r} has no header line")
         journal._valid_bytes = valid_bytes
         return journal
 
+    def _ingest(self, record: Dict) -> None:
+        """Absorb one loaded non-header record (subclass hook)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # appends
+
+    def append(self, record: Dict) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        line = json.dumps(record, sort_keys=True)
+        if self._handle is None:
+            if (self._valid_bytes is not None
+                    and os.path.getsize(self.path) > self._valid_bytes):
+                # Drop the torn trailing line a killed writer left behind
+                # before building on the file.
+                with open(self.path, "r+b") as repair:
+                    repair.truncate(self._valid_bytes)
+            self._handle = open(self.path, "a")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonLinesJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RunJournal(JsonLinesJournal):
+    """Append-only record of completed simulation triples."""
+
+    KIND = "run"
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._completed: Dict[TripleKey, SimulationResult] = {}
+        self._attempts: Dict[TripleKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # creation / loading
+
     @classmethod
-    def open(cls, path: str, gpu_name: str = "", scale: str = "") -> "RunJournal":
+    def create(
+        cls,
+        path: str,
+        gpu_name: str = "",
+        scale: str = "",
+        config_hash: str = "",
+        workload_hash: str = "",
+    ) -> "RunJournal":
+        """Create a fresh journal (atomic: header lands via rename).
+
+        ``config_hash`` / ``workload_hash`` pin the invocation that owns
+        this journal; resumes under a different configuration or
+        workload are refused (see ``repro eval --resume``).
+        """
+        fields = {"gpu": gpu_name, "scale": scale}
+        if config_hash:
+            fields["config_hash"] = config_hash
+        if workload_hash:
+            fields["workload_hash"] = workload_hash
+        return super().create(path, **fields)
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        gpu_name: str = "",
+        scale: str = "",
+        config_hash: str = "",
+        workload_hash: str = "",
+    ) -> "RunJournal":
         """Load ``path`` if it exists, else create it."""
         if os.path.exists(path):
             return cls.load(path)
-        return cls.create(path, gpu_name=gpu_name, scale=scale)
+        return cls.create(
+            path, gpu_name=gpu_name, scale=scale,
+            config_hash=config_hash, workload_hash=workload_hash,
+        )
+
+    def _ingest(self, record: Dict) -> None:
+        if record.get("kind") == "result":
+            result = result_from_dict(record["result"])
+            key = (result.app_name, result.gpu_name, result.simulator_name)
+            self._completed[key] = result
+            self._attempts[key] = record.get("attempts", 1)
 
     # ------------------------------------------------------------------
     # queries
@@ -213,35 +313,10 @@ class RunJournal:
         key = (result.app_name, result.gpu_name, result.simulator_name)
         if key in self._completed:
             return  # idempotent: resumes may re-deliver journaled work
-        line = json.dumps(
-            {
-                "kind": "result",
-                "attempts": attempts,
-                "result": result_to_dict(result),
-            },
-            sort_keys=True,
-        )
-        if self._handle is None:
-            if (self._valid_bytes is not None
-                    and os.path.getsize(self.path) > self._valid_bytes):
-                # Drop the torn trailing line a killed sweep left behind
-                # before building on the file.
-                with open(self.path, "r+b") as repair:
-                    repair.truncate(self._valid_bytes)
-            self._handle = open(self.path, "a")
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self.append({
+            "kind": "result",
+            "attempts": attempts,
+            "result": result_to_dict(result),
+        })
         self._completed[key] = result
         self._attempts[key] = attempts
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-    def __enter__(self) -> "RunJournal":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

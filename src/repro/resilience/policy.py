@@ -24,7 +24,11 @@ class RetryPolicy:
     ``max_attempts`` counts *total* attempts (1 means "never retry").
     ``timeout_seconds`` is the per-attempt wall-clock budget enforced by
     the supervisor (``None`` disables reaping, for workloads whose
-    runtime is unbounded).
+    runtime is unbounded).  ``max_total_seconds`` caps the *cumulative*
+    wall-clock one task may consume across attempts and backoff delays:
+    a retry whose backoff would push the task past the cap is suppressed
+    (the outcome records ``retry_cap_hit``), so exponential backoff can
+    never blow through a sweep or per-job deadline.
     """
 
     max_attempts: int = 3
@@ -33,6 +37,7 @@ class RetryPolicy:
     max_delay: float = 5.0
     jitter: float = 0.1
     timeout_seconds: Optional[float] = None
+    max_total_seconds: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -50,6 +55,8 @@ class RetryPolicy:
             raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ConfigError("timeout_seconds must be positive or None")
+        if self.max_total_seconds is not None and self.max_total_seconds <= 0:
+            raise ConfigError("max_total_seconds must be positive or None")
 
     def backoff(self, task: str, attempt: int) -> float:
         """Delay (seconds) before retrying ``task`` after failed
@@ -73,6 +80,16 @@ class RetryPolicy:
 
     def with_timeout(self, timeout_seconds: Optional[float]) -> "RetryPolicy":
         return replace(self, timeout_seconds=timeout_seconds)
+
+    def with_deadline(self, max_total_seconds: Optional[float]) -> "RetryPolicy":
+        """Copy with the cumulative wall-clock cap tightened to
+        ``max_total_seconds``.  A deadline can only shrink the budget —
+        a policy's own cap is never loosened by a caller's deadline."""
+        if max_total_seconds is None:
+            return self
+        if self.max_total_seconds is not None:
+            max_total_seconds = min(self.max_total_seconds, max_total_seconds)
+        return replace(self, max_total_seconds=max_total_seconds)
 
 
 #: Policy matching the pre-resilience driver: one attempt, no reaping.

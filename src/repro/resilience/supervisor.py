@@ -107,6 +107,10 @@ class TaskOutcome:
     result: object = None
     failure: Optional[TaskFailure] = None
     attempts: List[AttemptRecord] = field(default_factory=list)
+    #: True when a retry the policy's ``max_attempts`` would have allowed
+    #: was suppressed because attempt time + backoff would exceed
+    #: ``RetryPolicy.max_total_seconds``.
+    retry_cap_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -119,6 +123,15 @@ class TaskOutcome:
     @property
     def retried(self) -> bool:
         return len(self.attempts) > 1
+
+    @property
+    def total_seconds(self) -> float:
+        """Cumulative wall-clock this task consumed: every attempt's
+        duration plus every backoff delay scheduled between attempts —
+        the quantity ``RetryPolicy.max_total_seconds`` caps."""
+        return sum(
+            record.duration + record.backoff for record in self.attempts
+        )
 
 
 def _safe_send(conn, payload) -> None:
@@ -239,6 +252,23 @@ class Supervisor:
         )
         retrying = failure.retryable and attempt < self.policy.max_attempts
         backoff = self.policy.backoff(task.key, attempt) if retrying else 0.0
+        cap = self.policy.max_total_seconds
+        if retrying and cap is not None:
+            elapsed = outcome.total_seconds + duration
+            if elapsed + backoff >= cap:
+                # Retrying would blow through the task's total wall-clock
+                # budget — stop here and let the failure stand.
+                retrying = False
+                backoff = 0.0
+                outcome.retry_cap_hit = True
+                message = (
+                    f"{message} [retry suppressed: {elapsed:.3g}s consumed "
+                    f"of {cap:.3g}s total budget]"
+                )
+                failure = classify_failure(
+                    status, message, task=task.key, attempt=attempt,
+                    context=self.context,
+                )
         outcome.attempts.append(AttemptRecord(
             index=attempt, outcome=status, duration=duration,
             backoff=backoff, message=message,

@@ -1,0 +1,59 @@
+"""Sweep-as-a-service: a crash-safe asyncio job service over the sweep
+machinery (paper §V / ROADMAP item 2; see ``docs/serving.md``).
+
+Pieces, innermost first:
+
+* :mod:`repro.serve.keys` — canonical JSON and the content-addressed
+  job identity ``(trace_hash, config_hash, simulator)``.
+* :mod:`repro.serve.store` — memoized exact results, written with the
+  guard-checkpoint durability discipline (atomic rename, sha256
+  framing, torn-file tolerance).  Degraded values are refused.
+* :mod:`repro.serve.breaker` — per-(simulator, config-region) circuit
+  breaker with half-open probes.
+* :mod:`repro.serve.admission` — bounded queue driven by a
+  ``repro.profile``-calibrated cost model; typed load-shed errors.
+* :mod:`repro.serve.journal` — the service's crash recovery journal
+  (same JSON-lines discipline as :class:`repro.resilience.RunJournal`).
+* :mod:`repro.serve.service` — the asyncio unix-socket server tying it
+  together: in-flight dedupe, per-job deadlines, the degradation
+  ladder down to :class:`~repro.simulators.swift_analytic.SwiftSimAnalytic`,
+  and graceful drain.
+* :mod:`repro.serve.client` — a synchronous client plus grid helpers
+  for replaying Fig. 4-scale sweeps against a server.
+"""
+
+from repro.serve.admission import AdmissionController, CostModel
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+from repro.serve.client import SweepClient, build_grid, replay_grid
+from repro.serve.jobs import JobRequest, response_error, response_ok
+from repro.serve.journal import ServeJournal
+from repro.serve.keys import (
+    canonical_json,
+    config_hash,
+    job_key,
+    trace_hash,
+    workload_hash,
+)
+from repro.serve.service import SweepService
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CostModel",
+    "JobRequest",
+    "ResultStore",
+    "ServeJournal",
+    "SweepClient",
+    "SweepService",
+    "build_grid",
+    "canonical_json",
+    "config_hash",
+    "job_key",
+    "replay_grid",
+    "response_error",
+    "response_ok",
+    "trace_hash",
+    "workload_hash",
+]

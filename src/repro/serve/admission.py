@@ -1,0 +1,193 @@
+"""Admission control: a bounded queue priced by a profile-derived
+cost model.
+
+The queue is bounded two ways — by depth and by the *estimated seconds*
+of work already admitted — so a burst of cheap analytic jobs and a
+burst of expensive accel-like jobs both hit a wall scaled to what they
+actually cost.  Estimates come from :class:`CostModel`: seconds per
+dynamic warp-instruction per simulator, calibrated from the
+``repro.profile`` macro benchmark baseline
+(``benchmarks/baseline_bench.json``) when present, with a static table
+(measured on the reference container; see ``docs/performance.md``)
+otherwise.
+
+Rejection is a typed :class:`repro.errors.QueueSaturated` — the first
+rung of the degradation ladder, never a hung socket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import QueueSaturated
+
+
+class CostModel:
+    """Estimated execution cost (seconds) of one job.
+
+    ``coefficients`` maps simulator name to seconds per dynamic
+    warp-instruction; ``overhead_seconds`` covers per-job setup (trace
+    generation, process round-trip) independent of trace size.
+    """
+
+    #: Fallback seconds-per-instruction table.  Anchored on the macro
+    #: benchmark numbers for swift-basic (~0.012 s for gemm/tiny's ~2.4k
+    #: instructions ≈ 5e-6 s/inst) and the relative speeds measured in
+    #: docs/performance.md and docs/analytic-tier.md (accel-like ~4x
+    #: slower, swift-memory ~2x faster, interval ~10x faster,
+    #: swift-analytic ~134x faster than swift-basic).
+    DEFAULTS: Dict[str, float] = {
+        "accel-like": 2.0e-5,
+        "swift-basic": 5.0e-6,
+        "swift-memory": 2.5e-6,
+        "interval": 5.0e-7,
+        "swift-analytic": 4.0e-8,
+    }
+
+    DEFAULT_COEFFICIENT = 5.0e-6  # unknown simulator: price as swift-basic
+    OVERHEAD_SECONDS = 0.05
+
+    def __init__(
+        self,
+        coefficients: Optional[Dict[str, float]] = None,
+        overhead_seconds: float = OVERHEAD_SECONDS,
+    ) -> None:
+        self.coefficients = dict(self.DEFAULTS)
+        if coefficients:
+            self.coefficients.update(coefficients)
+        self.overhead_seconds = overhead_seconds
+
+    @classmethod
+    def from_baseline(
+        cls,
+        baseline: Dict,
+        instruction_counts: Dict[str, int],
+    ) -> "CostModel":
+        """Calibrate from a ``repro profile --bench`` baseline artifact.
+
+        ``baseline`` is the loaded JSON (see
+        :func:`repro.profile.bench.load_baseline`); ``instruction_counts``
+        maps ``app/scale`` to the trace's dynamic warp-instruction
+        count.  For each simulator the coefficient is the mean measured
+        seconds-per-instruction over its macro records; simulators with
+        no usable record keep their default.
+        """
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for record in baseline.get("macro", {}).values():
+            simulator = record.get("simulator", "")
+            wall = record.get("wall_seconds", 0.0)
+            app_scale = f"{record.get('app', '')}/{record.get('scale', '')}"
+            instructions = instruction_counts.get(app_scale, 0)
+            if not simulator or wall <= 0 or instructions <= 0:
+                continue
+            sums[simulator] = sums.get(simulator, 0.0) + wall / instructions
+            counts[simulator] = counts.get(simulator, 0) + 1
+        calibrated = {
+            simulator: sums[simulator] / counts[simulator]
+            for simulator in sums
+        }
+        return cls(coefficients=calibrated)
+
+    def estimate(self, simulator: str, num_instructions: int) -> float:
+        """Estimated wall seconds to execute one job."""
+        coefficient = self.coefficients.get(
+            simulator, self.DEFAULT_COEFFICIENT
+        )
+        return self.overhead_seconds + coefficient * max(0, num_instructions)
+
+
+class AdmissionController:
+    """The bounded queue's gatekeeper.
+
+    Callers :meth:`admit` before enqueueing (receiving the priced cost
+    to hand back) and :meth:`release` when the job leaves the system —
+    completed, failed, or shed downstream.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        max_depth: int = 64,
+        max_pending_seconds: float = 120.0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if max_pending_seconds <= 0:
+            raise ValueError(
+                f"max_pending_seconds must be positive, got "
+                f"{max_pending_seconds}"
+            )
+        self.cost_model = cost_model or CostModel()
+        self.max_depth = max_depth
+        self.max_pending_seconds = max_pending_seconds
+        self.depth = 0
+        self.pending_seconds = 0.0
+        self.shed_count = 0
+
+    def admit(self, simulator: str, num_instructions: int) -> float:
+        """Price the job and admit it, or raise :class:`QueueSaturated`.
+
+        An otherwise-empty queue always admits one job even if that
+        single job is priced over ``max_pending_seconds`` — a bound
+        that can starve *all* traffic protects nothing.
+        """
+        cost = self.cost_model.estimate(simulator, num_instructions)
+        if self.depth >= self.max_depth:
+            self.shed_count += 1
+            raise QueueSaturated(
+                f"queue depth {self.depth} at limit {self.max_depth}",
+                depth=self.depth, pending_cost=self.pending_seconds,
+            )
+        if self.depth > 0 and (
+            self.pending_seconds + cost > self.max_pending_seconds
+        ):
+            self.shed_count += 1
+            raise QueueSaturated(
+                f"estimated pending work {self.pending_seconds + cost:.3g}s "
+                f"would exceed the {self.max_pending_seconds:.3g}s budget",
+                depth=self.depth, pending_cost=self.pending_seconds,
+            )
+        self.depth += 1
+        self.pending_seconds += cost
+        return cost
+
+    def release(self, cost: float) -> None:
+        self.depth = max(0, self.depth - 1)
+        self.pending_seconds = max(0.0, self.pending_seconds - cost)
+
+
+def calibrated_cost_model(
+    baseline_path: str,
+    count_instructions: Callable[[str, str], int],
+) -> CostModel:
+    """Build a :class:`CostModel` from the bench baseline at
+    ``baseline_path``, or the default table when the file is absent or
+    unreadable.
+
+    ``count_instructions(app, scale)`` supplies the dynamic
+    warp-instruction count for each macro record's workload (the caller
+    decides how — generating tiny traces is cheap, but it is still a
+    policy choice).
+    """
+    from repro.errors import WorkloadError
+    from repro.profile.bench import load_baseline
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except (OSError, ValueError, WorkloadError):
+        baseline = None
+    if baseline is None:
+        return CostModel()
+    instruction_counts: Dict[str, int] = {}
+    for record in baseline.get("macro", {}).values():
+        app = record.get("app", "")
+        scale = record.get("scale", "")
+        key = f"{app}/{scale}"
+        if not app or key in instruction_counts:
+            continue
+        try:
+            instruction_counts[key] = count_instructions(app, scale)
+        except WorkloadError:
+            continue  # unknown app in a foreign baseline: skip the record
+    return CostModel.from_baseline(baseline, instruction_counts)

@@ -1,0 +1,127 @@
+"""Per-(simulator, config-region) circuit breakers.
+
+A breaker protects the service from pouring work into a combination
+that keeps failing (a wedged model, a pathological config region): after
+``threshold`` consecutive failures it OPENs and exact execution is
+refused — callers fall down the degradation ladder instead of queueing
+doomed work.  After ``cooldown`` seconds one HALF_OPEN probe is let
+through; its outcome decides between CLOSED (healed) and OPEN (another
+full cooldown).
+
+The config *region* is the first two hex digits of the config hash
+(256 coarse buckets): fine enough that one poisoned corner of a sweep
+grid does not trip the whole simulator, coarse enough that the board
+stays small.
+
+The clock is injectable so the state machine is deterministic under
+test; the default is ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker: CLOSED → OPEN → HALF_OPEN → (CLOSED | OPEN)."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    def allow(self) -> bool:
+        """May an exact execution proceed right now?
+
+        In OPEN state, the first call after the cooldown transitions to
+        HALF_OPEN and claims the single probe slot; every other caller
+        is refused until that probe reports back.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            return False
+        # HALF_OPEN: exactly one probe at a time.
+        if not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self._probe_in_flight = False
+        if self.state == HALF_OPEN:
+            # Failed probe: straight back to OPEN for a fresh cooldown.
+            self.state = OPEN
+            self._opened_at = self._clock()
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self.state = OPEN
+            self._opened_at = self._clock()
+
+
+class BreakerBoard:
+    """The service's breakers, keyed (simulator, config-region)."""
+
+    #: Hex digits of the config hash that define a region.
+    REGION_DIGITS = 2
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+
+    @classmethod
+    def key_for(cls, simulator: str, config_hash_hex: str) -> Tuple[str, str]:
+        return (simulator, config_hash_hex[:cls.REGION_DIGITS])
+
+    def breaker_for(self, simulator: str, config_hash_hex: str) -> CircuitBreaker:
+        key = self.key_for(simulator, config_hash_hex)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.threshold, cooldown=self.cooldown,
+                clock=self._clock,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def snapshot(self) -> Dict[str, str]:
+        """Breaker states for the stats endpoint, keyed ``sim/region``."""
+        return {
+            f"{simulator}/{region}": breaker.state
+            for (simulator, region), breaker in sorted(self._breakers.items())
+        }

@@ -1,0 +1,175 @@
+"""Content-addressed store of exact simulation results.
+
+Entries are memoized :class:`~repro.simulators.results.SimulationResult`
+payloads keyed by :func:`repro.serve.keys.job_key` and laid out two
+fan-out levels deep (``store/ab/abcdef....res``) so a Fig. 4-scale
+sweep never piles thousands of files into one directory.
+
+Each entry uses the guard-checkpoint durability discipline
+(:mod:`repro.guard.checkpoint`):
+
+* written to a temp file, fsync'd, then atomically ``os.replace``'d —
+  a reader never observes a half-written entry;
+* framed with a magic line, a JSON meta line, and a
+  ``<length> <sha256>`` line over the payload bytes — a torn or
+  bit-flipped file is *detected*, treated as a miss, and removed,
+  never served.
+
+The store holds **exact** results only.  Degraded (analytic-tier)
+answers are refused at this layer — :meth:`ResultStore.put` raises —
+so no code path can launder an approximation into the exact cache.
+This is the invariant ``repro check --mode serve`` re-verifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.errors import ServeError
+
+#: First line of every store entry; bump when the framing changes.
+MAGIC = "REPROSERV1\n"
+
+_ENTRY_SUFFIX = ".res"
+
+
+class ResultStore:
+    """Memoized exact results, content-addressed by job key."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _entry_path(self, key: str) -> str:
+        if len(key) < 8 or not all(c in "0123456789abcdef" for c in key):
+            raise ServeError(f"malformed store key {key!r}")
+        return os.path.join(self.root, key[:2], key + _ENTRY_SUFFIX)
+
+    # ------------------------------------------------------------------
+    # writes
+
+    def put(self, key: str, payload: Dict) -> str:
+        """Durably store ``payload`` under ``key``; returns the path.
+
+        Refuses degraded payloads: the exact cache must never contain
+        an approximation (see module doc).  Idempotent — re-putting an
+        existing key rewrites the same bytes atomically.
+        """
+        if payload.get("degraded"):
+            raise ServeError(
+                f"refusing to store degraded result under {key[:12]}...: "
+                "the exact-result cache only holds exact values "
+                "(docs/serving.md, tagging contract)"
+            )
+        path = self._entry_path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        digest = hashlib.sha256(body).hexdigest()
+        meta = json.dumps({"key": key}, sort_keys=True)
+        fd, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".entry-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(MAGIC.encode("ascii"))
+                handle.write((meta + "\n").encode("utf-8"))
+                handle.write(f"{len(body)} {digest}\n".encode("ascii"))
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        A torn, truncated, or corrupted entry counts as a miss: it is
+        deleted (so the slot heals on the next put) and ``None`` is
+        returned — the caller recomputes, it never sees bad bytes.
+        """
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return None
+        payload = self._parse_entry(raw, key)
+        if payload is None:
+            # Corrupt entry: evict so the next put rebuilds it cleanly.
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        return payload
+
+    @staticmethod
+    def _parse_entry(raw: bytes, key: str) -> Optional[Dict]:
+        magic_len = len(MAGIC)
+        if raw[:magic_len] != MAGIC.encode("ascii"):
+            return None
+        rest = raw[magic_len:]
+        meta_end = rest.find(b"\n")
+        if meta_end < 0:
+            return None
+        try:
+            meta = json.loads(rest[:meta_end].decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if meta.get("key") != key:
+            return None
+        frame_start = meta_end + 1
+        frame_end = rest.find(b"\n", frame_start)
+        if frame_end < 0:
+            return None
+        try:
+            length_text, digest = (
+                rest[frame_start:frame_end].decode("ascii").split(" ")
+            )
+            length = int(length_text)
+        except (UnicodeDecodeError, ValueError):
+            return None
+        body = rest[frame_end + 1:]
+        if len(body) != length:
+            return None
+        if hashlib.sha256(body).hexdigest() != digest:
+            return None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("degraded"):
+            # A degraded payload on disk means the write-side invariant
+            # was bypassed (e.g. a foreign writer); never serve it.
+            return None
+        return payload
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        count = 0
+        for __, __, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(_ENTRY_SUFFIX))
+        return count
+
+    def keys(self):
+        """All entry keys currently on disk (unvalidated; cheap scan)."""
+        found = []
+        for __, __, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(_ENTRY_SUFFIX):
+                    found.append(name[:-len(_ENTRY_SUFFIX)])
+        return sorted(found)

@@ -680,3 +680,208 @@ class TestResilienceCLI:
 
         assert main(["eval", "--apps", "bfs", "--simulators", "warp9"]) == 2
         assert "warp9" in capsys.readouterr().err
+
+
+class TestRetryBudgetCap:
+    """Satellite: RetryPolicy.max_total_seconds caps cumulative retry
+    spend, surfaced through TaskOutcome.retry_cap_hit."""
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_total_seconds=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_total_seconds=-1.0)
+
+    def test_with_deadline_tightens_only(self):
+        policy = RetryPolicy(max_total_seconds=10.0)
+        assert policy.with_deadline(2.0).max_total_seconds == 2.0
+        assert policy.with_deadline(60.0).max_total_seconds == 10.0
+        uncapped = RetryPolicy()
+        assert uncapped.with_deadline(3.0).max_total_seconds == 3.0
+
+    def test_cap_suppresses_remaining_retries(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=0.05, jitter=0.0,
+                             max_total_seconds=0.08)
+        outcome = Supervisor(policy, workers=1).run(
+            [Task("a", _raise_memory_error)]
+        )["a"]
+        assert not outcome.ok
+        assert outcome.retry_cap_hit
+        assert outcome.num_attempts < 10
+        assert "retry suppressed" in str(outcome.failure)
+        assert f"{policy.max_total_seconds}s total budget" \
+            in str(outcome.failure)
+        assert outcome.total_seconds > 0
+
+    def test_no_cap_runs_all_attempts(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        outcome = Supervisor(policy, workers=1).run(
+            [Task("a", _raise_memory_error)]
+        )["a"]
+        assert outcome.num_attempts == 3
+        assert not outcome.retry_cap_hit
+
+    def test_success_never_reports_cap(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             max_total_seconds=100.0)
+        outcome = Supervisor(policy, workers=1).run(
+            [Task("a", _double, (2,))]
+        )["a"]
+        assert outcome.ok and not outcome.retry_cap_hit
+
+
+class TestJournalHeaderHashes:
+    """Satellite: journals pin the invocation that created them."""
+
+    def test_hashes_recorded_when_given(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        RunJournal.create(path, gpu_name="g", scale="tiny",
+                          config_hash="c" * 64,
+                          workload_hash="w" * 64).close()
+        loaded = RunJournal.load(path)
+        assert loaded.header["config_hash"] == "c" * 64
+        assert loaded.header["workload_hash"] == "w" * 64
+        assert loaded.header["journal"] == "run"
+
+    def test_legacy_header_without_hashes_loads(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        RunJournal.create(path, gpu_name="g", scale="tiny").close()
+        loaded = RunJournal.load(path)
+        assert "config_hash" not in loaded.header
+        assert "workload_hash" not in loaded.header
+
+    def test_legacy_header_without_kind_field_loads(self, tmp_path):
+        path = tmp_path / "legacy.journal"
+        path.write_text(
+            '{"kind": "header", "version": 1, "gpu": "g", "scale": "t"}\n'
+        )
+        assert len(RunJournal.load(str(path))) == 0
+
+
+class TestEvalResumeRefusal:
+    """Satellite: `repro eval --resume` refuses a journal whose pinned
+    configuration or trace scale disagrees with the invocation."""
+
+    def _seed_journal(self, tmp_path, **overrides):
+        from repro.cli import main
+        from repro.frontend.config_io import save_gpu_config
+
+        config_path = str(tmp_path / "tiny.json")
+        journal_path = str(tmp_path / "sweep.journal")
+        save_gpu_config(make_tiny_gpu(**overrides), config_path)
+        assert main([
+            "eval", "--apps", "bfs", "--scale", "tiny",
+            "--config", config_path, "--simulators", "swift-basic",
+            "--journal", journal_path,
+        ]) == 0
+        return config_path, journal_path
+
+    def test_config_mismatch_is_typed_config_error(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.frontend.config_io import save_gpu_config
+
+        __, journal_path = self._seed_journal(tmp_path)
+        capsys.readouterr()
+        other_path = str(tmp_path / "other.json")
+        save_gpu_config(make_tiny_gpu(num_sms=8), other_path)
+        assert main([
+            "eval", "--apps", "bfs", "--scale", "tiny",
+            "--config", other_path, "--simulators", "swift-basic",
+            "--resume", journal_path,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "was written for config" in err
+        assert "refusing to mix results" in err
+
+    def test_scale_mismatch_is_typed_config_error(self, capsys, tmp_path):
+        from repro.cli import main
+
+        config_path, journal_path = self._seed_journal(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "eval", "--apps", "bfs", "--scale", "small",
+            "--config", config_path, "--simulators", "swift-basic",
+            "--resume", journal_path,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "scale" in err and "traces differ" in err
+
+    def test_matching_invocation_resumes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        config_path, journal_path = self._seed_journal(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "eval", "--apps", "bfs", "--scale", "tiny",
+            "--config", config_path, "--simulators", "swift-basic",
+            "--resume", journal_path,
+        ]) == 0
+        assert "resuming from" in capsys.readouterr().out
+
+
+class _ChaosDrivenSimulator(SwiftSimBasic):
+    """Consults a real ChaosPlan's fault schedule: a first-attempt
+    "crash" for this app becomes a SimulationError, like a worker the
+    supervisor could not save within its retry budget."""
+
+    def __init__(self, config, plan):
+        super().__init__(config)
+        self._plan = plan
+
+    def simulate(self, app, **kwargs):
+        if self._plan.faults_for(app.name, 1)[0] == "crash":
+            raise SimulationError(
+                f"chaos: injected crash for {app.name}"
+            )
+        return super().simulate(app, **kwargs)
+
+
+class TestHarnessDegradeUnderChaos:
+    """Satellite: failure_policy="degrade" under an active ChaosPlan —
+    every chaos casualty lands in suite.failures and the partial table
+    still renders, gaps and all."""
+
+    APPS = ["bfs", "gemm", "sm"]
+    # seed=1, crash_rate=0.5: bfs survives, gemm and sm crash (the
+    # schedule is seeded-deterministic, asserted below).
+    PLAN = dict(seed=1, crash_rate=0.5)
+
+    def _evaluate(self):
+        gpu = make_tiny_gpu()
+        plan = ChaosPlan(**self.PLAN)
+        assert [plan.faults_for(a, 1)[0] for a in self.APPS] == \
+            [None, "crash", "crash"]
+        harness = EvaluationHarness(gpu, scale="tiny", apps=self.APPS)
+        return harness.evaluate(
+            {"stable": SwiftSimBasic(gpu),
+             "chaotic": _ChaosDrivenSimulator(gpu, plan)},
+            failure_policy="degrade",
+        )
+
+    def test_failure_records_emitted_per_casualty(self):
+        suite = self._evaluate()
+        assert suite.is_partial
+        assert [(f.app_name, f.simulator) for f in suite.failures] == \
+            [("gemm", "chaotic"), ("sm", "chaotic")]
+        for record in suite.failures:
+            assert record.error_type == "SimulationError"
+            assert "chaos" in record.message
+
+    def test_rows_keep_surviving_cells(self):
+        suite = self._evaluate()
+        assert [row.app_name for row in suite.rows] == self.APPS
+        for row in suite.rows:
+            assert row.has("stable")
+        assert suite.rows[0].has("chaotic")
+        assert not suite.rows[1].has("chaotic")
+        assert not suite.rows[2].has("chaotic")
+
+    def test_partial_table_renders_without_failed_cells(self):
+        suite = self._evaluate()
+        text = render_suite(suite, baseline="stable")
+        assert "[PARTIAL]" in text
+        # gemm and sm rows: cycles, error, and speedup cells all gap
+        assert text.count("—") == 6
+        assert "failures (2):" in text
+        assert "gemm x chaotic: SimulationError" in text
+        assert "sm x chaotic: SimulationError" in text

@@ -1,0 +1,116 @@
+"""Property-based tests for the serve cache-key discipline.
+
+The content-addressed cache is only safe if the key is a pure function
+of *meaning*: two spellings of the same configuration must collide, and
+two different configurations must never collide.  Hypothesis explores
+the spelling space (dict ordering, float formatting, nesting) far
+beyond what example-based tests cover.
+"""
+
+import json
+import math
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ServeError
+from repro.serve.keys import canonical_json, config_hash, job_key
+
+# Scalars whose canonical form must be spelling-independent.
+scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.none(),
+)
+
+config_dicts = st.recursive(
+    st.dictionaries(st.text(min_size=1, max_size=12), scalars, max_size=6),
+    lambda children: st.dictionaries(
+        st.text(min_size=1, max_size=12),
+        st.one_of(scalars, children, st.lists(scalars, max_size=4)),
+        max_size=6,
+    ),
+    max_leaves=24,
+)
+
+
+def reorder(value):
+    """Rebuild ``value`` with every dict's insertion order reversed."""
+    if isinstance(value, dict):
+        return {k: reorder(value[k]) for k in reversed(list(value))}
+    if isinstance(value, list):
+        return [reorder(item) for item in value]
+    return value
+
+
+def refloat(value):
+    """Respell integral numbers as floats (2 -> 2.0) throughout."""
+    if isinstance(value, dict):
+        return {k: refloat(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [refloat(item) for item in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and abs(value) < 2 ** 53:
+        return float(value)
+    return value
+
+
+class TestCanonicalInvariance:
+    @settings(max_examples=200)
+    @given(config_dicts)
+    def test_key_ignores_dict_ordering(self, config):
+        assert config_hash(config) == config_hash(reorder(config))
+
+    @settings(max_examples=200)
+    @given(config_dicts)
+    def test_key_ignores_float_formatting(self, config):
+        assert config_hash(config) == config_hash(refloat(config))
+
+    @settings(max_examples=200)
+    @given(config_dicts)
+    def test_canonical_json_is_a_fixpoint(self, config):
+        # Canonicalizing the parse of a canonical form changes nothing.
+        first = canonical_json(config)
+        assert canonical_json(json.loads(first)) == first
+
+    @settings(max_examples=200)
+    @given(config_dicts, config_dicts)
+    def test_distinct_configs_never_collide(self, a, b):
+        # Distinctness is judged on the canonical form: {"x": 2} and
+        # {"x": 2.0} are the *same* config by design.
+        if canonical_json(a) != canonical_json(b):
+            assert config_hash(a) != config_hash(b)
+
+    @settings(max_examples=100)
+    @given(config_dicts)
+    def test_job_key_separates_simulators(self, config):
+        digest = config_hash(config)
+        keys = {
+            job_key("t0", digest, simulator)
+            for simulator in ("accel-like", "swift-basic", "swift-memory",
+                              "interval", "swift-analytic")
+        }
+        assert len(keys) == 5
+
+    @settings(max_examples=100)
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_integral_floats_always_collapse(self, value):
+        if value.is_integer():
+            assert canonical_json(value) == canonical_json(int(value))
+        else:
+            # Round-trip must preserve the exact value (repr fidelity).
+            assert json.loads(canonical_json(value)) == value
+
+    @settings(max_examples=50)
+    @given(st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+           config_dicts)
+    def test_non_finite_rejected_anywhere(self, bad, config):
+        poisoned = dict(config)
+        poisoned["__bad__"] = bad
+        with pytest.raises(ServeError):
+            config_hash(poisoned)
+        assert math.isnan(bad) or math.isinf(bad)
