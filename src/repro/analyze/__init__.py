@@ -21,42 +21,83 @@ them at commit time, with an AST-based whole-program analysis (stdlib
   from the clocked phase, mutable class attributes on modules;
 * **SW — sweep safety**: unpicklable fields on objects shipped to
   :mod:`repro.resilience` workers, complementing the runtime
-  ``validate_picklable`` pre-flight.
+  ``validate_picklable`` pre-flight;
+* **SH — shard safety**: whole-program dataflow over every module's
+  clocked surface (:mod:`~repro.analyze.callgraph`,
+  :mod:`~repro.analyze.stateflow`) catching cross-module races before a
+  PDES decomposition exists to hit them — unsynchronized cross-shard
+  writes (SH501), mutable objects retained across ports (SH502), and
+  tick-order-dependent cross-module reads (SH503).  The same analysis
+  emits a partition manifest (:mod:`~repro.analyze.partition`,
+  ``repro lint --partition-report``) proposing SM-side/memory-side
+  shards with every cross-shard edge enumerated.
 
 Mechanics shared by all rules: a pluggable registry
 (:mod:`~repro.analyze.registry`), per-rule severity with a
-``--fail-on`` gate, inline ``# repro: noqa[RULE]`` suppressions, a
-committed baseline for grandfathered findings
-(:mod:`~repro.analyze.baseline`), and a persistent parsed-AST cache
-(:class:`~repro.analyze.index.AstCache`) shared between CI steps.
+``--fail-on`` gate, inline ``# repro: noqa[RULE]`` suppressions
+(unknown rule names are rejected with
+:class:`~repro.errors.UnknownRuleError`), a committed baseline for
+grandfathered findings (:mod:`~repro.analyze.baseline`, prunable via
+``--prune-baseline``), SARIF 2.1.0 output
+(:mod:`~repro.analyze.sarif`), and a persistent cache
+(:class:`~repro.analyze.index.AstCache`) holding both parsed ASTs and
+rule results, keyed on a digest of the rule catalog so editing any
+rule invalidates cached findings but not the parse.
 
-Drive it with ``repro lint`` (text + JSON output) or as the sixth
+Drive it with ``repro lint`` (text/JSON/SARIF output) or as the sixth
 ``repro check`` pillar (``--mode static``); the rule catalog lives in
 ``docs/static-analysis.md``.
 """
 
-from repro.analyze.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analyze.baseline import (
+    apply_baseline,
+    load_baseline,
+    prune_baseline,
+    write_baseline,
+)
+from repro.analyze.callgraph import CallGraph, build_callgraph
 from repro.analyze.findings import SEVERITIES, LintFinding
 from repro.analyze.index import AstCache, ProgramIndex, SourceFile, load_index
-from repro.analyze.registry import FAMILIES, RULES, Rule, all_rules, resolve_rules
+from repro.analyze.partition import Partition, build_partition, write_manifest
+from repro.analyze.registry import (
+    FAMILIES,
+    RULES,
+    Rule,
+    all_rules,
+    catalog_hash,
+    resolve_rules,
+)
 from repro.analyze.runner import FAIL_ON, LintReport, lint_paths
+from repro.analyze.sarif import to_sarif, to_sarif_json
+from repro.analyze.stateflow import StateFlow, build_stateflow
 
 __all__ = [
     "FAIL_ON",
     "FAMILIES",
     "AstCache",
+    "CallGraph",
     "LintFinding",
     "LintReport",
+    "Partition",
     "ProgramIndex",
     "RULES",
     "Rule",
     "SEVERITIES",
     "SourceFile",
+    "StateFlow",
     "all_rules",
     "apply_baseline",
+    "build_callgraph",
+    "build_partition",
+    "build_stateflow",
+    "catalog_hash",
     "lint_paths",
     "load_baseline",
     "load_index",
+    "prune_baseline",
     "resolve_rules",
+    "to_sarif",
+    "to_sarif_json",
     "write_baseline",
+    "write_manifest",
 ]

@@ -57,6 +57,30 @@ def load_baseline(path: Path) -> Dict[str, dict]:
     return {entry["fingerprint"]: entry for entry in payload.get("findings", [])}
 
 
+def prune_baseline(
+    path: Path, findings: Sequence[LintFinding]
+) -> Tuple[int, int]:
+    """Drop baseline entries no current finding matches; rewrite in place.
+
+    ``findings`` must be the *pre-baseline* finding set of a full run
+    over the same paths the baseline covers (pruning against a partial
+    run would drop entries that are merely out of scope).  Returns
+    ``(kept, pruned)`` entry counts.
+    """
+    baseline = load_baseline(path)
+    current = {finding.fingerprint for finding in findings}
+    entries = [
+        entry for fingerprint, entry in baseline.items()
+        if fingerprint in current
+    ]
+    entries.sort(
+        key=lambda e: (e["path"], e["rule"], e["scope"], e["fingerprint"])
+    )
+    payload = {"format": _FORMAT, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries), len(baseline) - len(entries)
+
+
 def apply_baseline(
     findings: Sequence[LintFinding], baseline: Dict[str, dict]
 ) -> Tuple[List[LintFinding], List[LintFinding], List[dict]]:

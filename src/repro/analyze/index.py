@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import pickle
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
@@ -26,7 +28,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 from repro.errors import AnalysisError
 
 #: Bump when parsing/extraction changes, to invalidate persisted caches.
-ANALYZER_VERSION = 1
+ANALYZER_VERSION = 2
 
 #: Framework root classes: subclassing one of these (by name, transitively
 #: through the index) makes a class part of the modeled-module hierarchy.
@@ -36,6 +38,17 @@ SINK_ROOTS = frozenset({"InstructionSink", "CompletionListener", "BlockSource"})
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
 _PAYLOAD_RE = re.compile(r"#\s*repro:\s*sweep-payload")
+_PORT_RE = re.compile(r"#\s*repro:\s*port\b")
+
+#: Statement kinds whose noqa coverage is their *header* only (covering
+#: the whole body would let one comment waive a hundred lines).
+_COMPOUND_STMTS = tuple(
+    getattr(ast, name)
+    for name in ("If", "For", "AsyncFor", "While", "With", "AsyncWith",
+                 "Try", "TryStar", "FunctionDef", "AsyncFunctionDef",
+                 "ClassDef", "Match")
+    if hasattr(ast, name)
+)
 
 
 @dataclass
@@ -56,6 +69,10 @@ class ClassInfo:
     self_attrs: Set[str] = field(default_factory=set)
     #: whether any method carries @abstractmethod
     is_abstract: bool = False
+    #: methods carrying a ``# repro: port`` marker (on the def/decorator
+    #: header or the line immediately above it) — declared cross-module
+    #: communication points the sharding rules treat as synchronized
+    port_methods: Set[str] = field(default_factory=set)
 
 
 class SourceFile:
@@ -69,6 +86,7 @@ class SourceFile:
         except ValueError:
             self.path = str(path)
         self.text = text
+        self.content_hash = hashlib.sha1(text.encode("utf-8")).hexdigest()
         try:
             self.tree = tree if tree is not None else ast.parse(text, filename=self.path)
         except SyntaxError as exc:
@@ -78,16 +96,40 @@ class SourceFile:
         self.noqa: Dict[int, Optional[FrozenSet[str]]] = {}
         #: lines carrying a ``# repro: sweep-payload`` marker
         self.payload_lines: Set[int] = set()
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            match = _NOQA_RE.search(line)
+        #: lines carrying a ``# repro: port`` marker
+        self.port_lines: Set[int] = set()
+        # Markers are honored only in *actual comments* (tokenize), never
+        # inside string literals — otherwise documentation that merely
+        # mentions the noqa/port syntax would suppress (or, with
+        # unknown-rule validation, reject) findings on its own line.
+        for lineno, comment in _comment_lines(text):
+            match = _NOQA_RE.search(comment)
             if match:
                 ids = match.group(1)
                 self.noqa[lineno] = (
                     frozenset(i.strip() for i in ids.split(",") if i.strip())
                     if ids else None
                 )
-            if _PAYLOAD_RE.search(line):
+            if _PAYLOAD_RE.search(comment):
                 self.payload_lines.add(lineno)
+            if _PORT_RE.search(comment):
+                self.port_lines.add(lineno)
+        #: noqa coverage widened to the enclosing statement: a suppression
+        #: on any physical line of a multi-line statement (or on a
+        #: decorator / def header) covers findings reported anywhere in
+        #: that statement's span.  Compound statements cover their header
+        #: only, never their body.
+        self._noqa_ranges: List[Tuple[int, int, Optional[FrozenSet[str]]]] = []
+        if self.noqa:
+            spans = _statement_spans(self.tree)
+            for lineno, rules in self.noqa.items():
+                best: Optional[Tuple[int, int]] = None
+                for start, end in spans:
+                    if start <= lineno <= end:
+                        if best is None or end - start < best[1] - best[0]:
+                            best = (start, end)
+                if best is not None:
+                    self._noqa_ranges.append((best[0], best[1], rules))
         #: local names bound to imported *modules* (``import os`` -> "os")
         self.imported_modules: Set[str] = set()
         for node in ast.walk(self.tree):
@@ -98,11 +140,57 @@ class SourceFile:
                     )
 
     def suppressed(self, line: int, rule_id: str) -> bool:
-        """True when ``# repro: noqa`` on ``line`` covers ``rule_id``."""
-        if line not in self.noqa:
-            return False
-        rules = self.noqa[line]
-        return rules is None or rule_id in rules
+        """True when a ``# repro: noqa`` covers ``rule_id`` at ``line`` —
+        either written on that exact line, or anywhere within the same
+        (simple) statement / compound-statement header."""
+        rules = self.noqa.get(line, False)
+        if rules is not False and (rules is None or rule_id in rules):
+            return True
+        for start, end, rules in self._noqa_ranges:
+            if start <= line <= end and (rules is None or rule_id in rules):
+                return True
+        return False
+
+
+def _comment_lines(text: str) -> List[Tuple[int, str]]:
+    """(lineno, comment_text) for every comment token in ``text``.
+
+    Falls back to a whole-line scan if tokenization fails (the file
+    already parsed, so this is a defensive path, not an expected one).
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(text).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return list(enumerate(text.splitlines(), start=1))
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(start, end) line spans noqa comments extend over.
+
+    Simple statements span all their physical lines (decorator lines
+    included, via the enclosing def).  Compound statements span only
+    their header — first decorator line through the line before the
+    first body statement — so one comment cannot waive a whole block.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if isinstance(node, _COMPOUND_STMTS):
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min([d.lineno for d in decorators] + [start])
+            body = getattr(node, "body", [])
+            if body:
+                end = max(start, body[0].lineno - 1)
+        spans.append((start, end))
+    return spans
 
 
 def _module_name(path: Path) -> str:
@@ -146,6 +234,13 @@ def _extract_class(info: ClassInfo) -> None:
                 )
                 if name in ("abstractmethod", "abstractproperty"):
                     info.is_abstract = True
+            header_start = min(
+                [d.lineno for d in stmt.decorator_list] + [stmt.lineno]
+            )
+            header_end = stmt.body[0].lineno - 1 if stmt.body else stmt.lineno
+            marker_window = set(range(header_start - 1, header_end + 1))
+            if marker_window & info.source.port_lines:
+                info.port_methods.add(stmt.name)
         elif isinstance(stmt, ast.Assign):
             for target in stmt.targets:
                 if isinstance(target, ast.Name):
@@ -171,6 +266,10 @@ class ProgramIndex:
 
     def __init__(self, files: Sequence[SourceFile]) -> None:
         self.files = list(files)
+        #: memoized derived analyses (call graph, state flow, partition)
+        #: keyed by analysis name — they are pure functions of the index,
+        #: so rules sharing one index share one computation
+        self.analysis_cache: Dict[str, object] = {}
         #: bare class name -> definitions (collisions keep all)
         self.classes: Dict[str, List[ClassInfo]] = {}
         #: class names instantiated anywhere (Call to the bare name)
@@ -286,6 +385,15 @@ class ProgramIndex:
                 return True
         return False
 
+    def port_marked(self, info: ClassInfo, method: str) -> bool:
+        """Is ``method`` declared a ``# repro: port`` on ``info`` or any
+        in-index ancestor?"""
+        if method in info.port_methods:
+            return True
+        return any(
+            method in ancestor.port_methods for ancestor in self.ancestry(info)
+        )
+
 
 # ----------------------------------------------------------------------
 # collection and caching
@@ -307,27 +415,45 @@ def collect_paths(paths: Sequence[Path]) -> List[Path]:
 
 
 class AstCache:
-    """Content-addressed parsed-AST store shared between lint steps.
+    """Content-addressed parsed-AST and findings store for lint steps.
 
     Maps ``sha1(source)`` to the pickled :mod:`ast` tree.  Misses parse
     and populate; :meth:`save` persists for the next invocation (the CI
     lint job caches this file between the ``repro lint`` and ``repro
     check --mode static`` steps).
+
+    Alongside the trees, the cache holds *findings* entries keyed by the
+    exact (rule catalog, file contents, rule selection) triple that
+    produced them.  AST entries survive rule changes — parsing is
+    rule-independent — but findings are dropped whenever the persisted
+    rule-catalog hash differs from the running one, so editing or adding
+    a rule can never silently replay stale results.
     """
 
-    def __init__(self, path: Optional[Path] = None) -> None:
+    def __init__(self, path: Optional[Path] = None,
+                 catalog: Optional[str] = None) -> None:
+        if catalog is None:
+            # Late import: registry pulls in the rule modules, which
+            # import this module for index helpers.
+            from repro.analyze.registry import catalog_hash
+            catalog = catalog_hash()
         self.path = path
+        self.catalog = catalog
         self.hits = 0
         self.misses = 0
         self._entries: Dict[str, bytes] = {}
+        self._findings: Dict[str, bytes] = {}
         if path is not None and path.exists():
             try:
                 with open(path, "rb") as handle:
                     payload = pickle.load(handle)
                 if payload.get("version") == ANALYZER_VERSION:
                     self._entries = payload.get("entries", {})
+                    if payload.get("catalog") == catalog:
+                        self._findings = payload.get("findings", {})
             except Exception:
                 self._entries = {}  # corrupt/stale cache: rebuild silently
+                self._findings = {}
 
     def tree_for(self, text: str, filename: str) -> ast.Module:
         key = hashlib.sha1(text.encode("utf-8")).hexdigest()
@@ -344,13 +470,43 @@ class AstCache:
         self._entries[key] = pickle.dumps(tree)
         return tree
 
+    # ------------------------------------------------------------------
+    # cached rule results (keyed by catalog + sources + rule selection)
+
+    def findings_key(self, content_hashes: Sequence[str],
+                     rule_ids: Sequence[str]) -> str:
+        digest = hashlib.sha1()
+        digest.update(self.catalog.encode("utf-8"))
+        for chash in sorted(content_hashes):
+            digest.update(b"\x1f" + chash.encode("utf-8"))
+        digest.update(("\x1e" + ",".join(sorted(rule_ids))).encode("utf-8"))
+        return digest.hexdigest()
+
+    def findings_for(self, key: str) -> Optional[object]:
+        blob = self._findings.get(key)
+        if blob is None:
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            return None
+
+    def store_findings(self, key: str, payload: object) -> None:
+        self._findings[key] = pickle.dumps(payload)
+
     def save(self) -> None:
         if self.path is None:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "wb") as handle:
             pickle.dump(
-                {"version": ANALYZER_VERSION, "entries": self._entries}, handle
+                {
+                    "version": ANALYZER_VERSION,
+                    "catalog": self.catalog,
+                    "entries": self._entries,
+                    "findings": self._findings,
+                },
+                handle,
             )
 
 

@@ -26,7 +26,7 @@ from repro.analyze.baseline import apply_baseline, load_baseline
 from repro.analyze.findings import LintFinding
 from repro.analyze.index import AstCache, ProgramIndex, load_index
 from repro.analyze.registry import Rule, all_rules, resolve_rules
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, UnknownRuleError
 
 #: What ``--fail-on`` accepts.
 FAIL_ON = ("error", "warning")
@@ -102,6 +102,13 @@ class LintReport:
                 f"  stale baseline entry: {entry['rule']} {entry['path']} "
                 f"{entry['scope']} — fixed? regenerate the baseline"
             )
+        if self.stale_baseline:
+            count = len(self.stale_baseline)
+            lines.append(
+                f"  warning: {count} stale baseline entr"
+                f"{'y' if count == 1 else 'ies'} — run "
+                f"`repro lint --prune-baseline` to drop them"
+            )
         if self.ok:
             lines.append(
                 "PASS: no "
@@ -136,20 +143,39 @@ def lint_paths(
     )
     if index is None:
         index = load_index(paths, root=root, cache=cache)
-        if cache is not None:
-            cache.save()
+    _validate_noqa(index)
     by_path = {source.path: source for source in index.files}
-    raw: List[LintFinding] = []
-    for rule_obj in selected:
-        raw.extend(rule_obj.check(index))
-    kept: List[LintFinding] = []
-    suppressed = 0
-    for finding in raw:
-        source = by_path.get(finding.path)
-        if source is not None and source.suppressed(finding.line, finding.rule):
-            suppressed += 1
-        else:
-            kept.append(finding)
+    findings_key = None
+    cached = None
+    if cache is not None:
+        findings_key = cache.findings_key(
+            [source.content_hash for source in index.files],
+            [r.id for r in selected],
+        )
+        cached = cache.findings_for(findings_key)
+    if cached is not None:
+        kept, suppressed = cached
+    else:
+        raw: List[LintFinding] = []
+        for rule_obj in selected:
+            raw.extend(rule_obj.check(index))
+        kept = []
+        suppressed = 0
+        for finding in raw:
+            source = by_path.get(finding.path)
+            if source is not None and source.suppressed(
+                finding.line, finding.rule
+            ):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        if cache is not None and findings_key is not None:
+            # Post-noqa, pre-baseline: suppression depends only on file
+            # content (hashed into the key); the baseline is applied
+            # fresh on every run so edits to it take effect immediately.
+            cache.store_findings(findings_key, (kept, suppressed))
+    if cache is not None:
+        cache.save()
     grandfathered: List[LintFinding] = []
     stale: List[dict] = []
     if baseline is not None:
@@ -157,7 +183,7 @@ def lint_paths(
             kept, load_baseline(baseline)
         )
     return LintReport(
-        paths=[str(p) for p in paths],
+        paths=[str(path) for path in paths],
         rules_run=len(selected),
         files_scanned=len(index.files),
         findings=kept,
@@ -168,3 +194,25 @@ def lint_paths(
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=cache.misses if cache is not None else 0,
     )
+
+
+def _validate_noqa(index: ProgramIndex) -> None:
+    """Reject ``# repro: noqa[...]`` comments naming unknown rules.
+
+    A typo'd rule ID would otherwise suppress nothing, silently — the
+    author believes the finding is waived while the gate still fires (or
+    worse, a future rule collides with the typo).  Checked against the
+    *full* catalog, not the selected subset, so running with ``--rules``
+    does not flag suppressions of unselected rules.
+    """
+    known = {registered.id for registered in all_rules()}
+    for source in index.files:
+        for line, rules in sorted(source.noqa.items()):
+            if not rules:
+                continue  # blanket noqa suppresses everything by design
+            unknown = sorted(set(rules) - known)
+            if unknown:
+                raise UnknownRuleError(
+                    f"{source.path}:{line}: noqa names unknown rule(s) "
+                    f"{', '.join(unknown)}; see `repro lint --list-rules`"
+                )

@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 output for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs ingest to annotate diffs with findings.  :func:`to_sarif` maps a
+:class:`~repro.analyze.runner.LintReport` onto one ``run``: every
+registered rule becomes a ``reportingDescriptor`` (so viewers can show
+the rationale without our docs), fresh findings become ``new`` results,
+and baseline-grandfathered ones are carried as ``unchanged`` so the UI
+can hide them by default without losing them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analyze.findings import LintFinding
+from repro.analyze.registry import all_rules
+from repro.analyze.runner import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Lint severities -> SARIF result levels.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _result(finding: LintFinding, baseline_state: str) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": f"{finding.scope}: {finding.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, finding.line)},
+                }
+            }
+        ],
+        "baselineState": baseline_state,
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+
+
+def to_sarif(report: LintReport) -> Dict[str, object]:
+    """Render ``report`` as a SARIF 2.1.0 log (a JSON-able dict)."""
+    rules: List[Dict[str, object]] = []
+    for registered in sorted(all_rules(), key=lambda r: r.id):
+        rules.append({
+            "id": registered.id,
+            "name": registered.title,
+            "shortDescription": {"text": registered.title},
+            "fullDescription": {"text": registered.rationale},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(registered.severity, "warning")
+            },
+        })
+    results = [_result(f, "new") for f in report.findings]
+    results.extend(_result(f, "unchanged") for f in report.grandfathered)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif_json(report: LintReport, indent: int = 2) -> str:
+    return json.dumps(to_sarif(report), indent=indent)

@@ -431,11 +431,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exit 1 on fresh findings at or above this severity",
     )
     lint.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries no current finding matches "
+             "(rewrites the --baseline file in place) and exit",
+    )
+    lint.add_argument(
         "--cache", metavar="PATH",
-        help="persist the parsed-AST index here (shared between CI steps)",
+        help="persist the parsed-AST index and cached findings here "
+             "(shared between CI steps; invalidated when the rule "
+             "catalog changes)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=("text", "json", "sarif"),
+        help="stdout format: human text, the JSON report, or SARIF 2.1.0",
     )
     lint.add_argument("--json", dest="json_out",
                       help="write the machine-readable report to this path")
+    lint.add_argument(
+        "--partition-report", metavar="PATH",
+        help="write the PDES partition manifest (proposed shards plus "
+             "every cross-shard edge) to PATH; exits 1 if any "
+             "unsynchronized cross-shard write remains",
+    )
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
     return parser
@@ -931,6 +948,8 @@ def _cmd_lint(args) -> None:
         AstCache,
         all_rules,
         lint_paths,
+        load_index,
+        prune_baseline,
         write_baseline,
     )
 
@@ -944,24 +963,66 @@ def _cmd_lint(args) -> None:
     if args.rules:
         rules = [item.strip() for item in args.rules.split(",") if item.strip()]
     cache = AstCache(Path(args.cache)) if args.cache else None
+    paths = [Path(p) for p in args.paths]
+    baseline_path = Path(args.baseline) if args.baseline else None
+    index = None
+    if args.partition_report:
+        # The manifest needs the program index lint_paths builds
+        # internally; build it once here and share it.
+        index = load_index(paths, cache=cache)
+    if args.prune_baseline:
+        if baseline_path is None:
+            from repro.errors import AnalysisError
+
+            raise AnalysisError("--prune-baseline requires --baseline")
+        report = lint_paths(
+            paths, rules=rules, baseline=None, fail_on=args.fail_on,
+            cache=cache, index=index,
+        )
+        kept, pruned = prune_baseline(baseline_path, report.findings)
+        print(f"pruned {pruned} stale baseline entr"
+              f"{'y' if pruned == 1 else 'ies'} from {args.baseline} "
+              f"({kept} kept)")
+        return
     report = lint_paths(
-        [Path(p) for p in args.paths],
+        paths,
         rules=rules,
-        baseline=Path(args.baseline) if args.baseline else None,
+        baseline=baseline_path,
         fail_on=args.fail_on,
         cache=cache,
+        index=index,
     )
     if args.write_baseline:
         write_baseline(Path(args.write_baseline), report.findings)
         print(f"wrote baseline with {len(report.findings)} finding(s) "
               f"to {args.write_baseline}")
         return
-    print(report.render())
+    if args.format == "sarif":
+        from repro.analyze.sarif import to_sarif_json
+
+        print(to_sarif_json(report))
+    elif args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
     if args.json_out:
         with open(args.json_out, "w") as handle:
             handle.write(report.to_json())
         print(f"wrote JSON report to {args.json_out}")
-    if not report.ok:
+    manifest_bad = False
+    if args.partition_report:
+        from repro.analyze.partition import build_partition, write_manifest
+
+        manifest = build_partition(index).manifest(index)
+        write_manifest(manifest, args.partition_report)
+        summary = manifest["summary"]
+        print(f"wrote partition manifest to {args.partition_report}: "
+              f"{summary['shards']} shard(s), "
+              f"{summary['cross_shard_edges']} cross-shard port edge(s), "
+              f"{summary['unsynchronized_writes']} unsynchronized "
+              f"cross-shard write(s)")
+        manifest_bad = summary["unsynchronized_writes"] > 0
+    if not report.ok or manifest_bad:
         raise _CheckFailed()
 
 

@@ -135,6 +135,12 @@ class AnalysisError(SwiftSimError):
     which are reported, not raised."""
 
 
+class UnknownRuleError(AnalysisError):
+    """A ``# repro: noqa[RULE]`` comment names a rule the catalog does
+    not know.  A typo'd suppression silently suppresses nothing, so it
+    is rejected loudly instead of ignored."""
+
+
 class CounterKindError(MetricsError):
     """A counter name was used with both sum semantics (``add``) and
     max semantics (``peak``); the mixed value would be meaningless."""

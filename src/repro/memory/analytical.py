@@ -218,7 +218,7 @@ class AnalyticalMemoryModel(Module):
         self._port_free = [0] * self.config.num_sms
         self._dram_virtual = 0.0
 
-    def access_global(
+    def access_global(  # repro: port
         self, sm_id: int, inst: TraceInstruction, cycle: int
     ) -> Tuple[int, int]:
         """Resolve one memory instruction; returns (completion, transactions)."""

@@ -115,7 +115,7 @@ class QueuedMemorySystem(Module):
 
     # ------------------------------------------------------------------
 
-    def access_global(
+    def access_global(  # repro: port
         self, sm_id: int, inst: TraceInstruction, cycle: int
     ) -> Tuple[int, int, int]:
         """Resolve one global/local memory instruction issued at ``cycle``.
@@ -393,7 +393,7 @@ class DetailedMemorySystem(ClockedModule):
     # ------------------------------------------------------------------
     # SM-facing interface
 
-    def issue_global(
+    def issue_global(  # repro: port
         self,
         sm_id: int,
         listener: CompletionListener,
