@@ -1,0 +1,124 @@
+"""Sharded-engine check: serial vs partitioned runs bit-equivalence.
+
+The parallel engine (:mod:`repro.sim.parallel`) advertises the same
+contract clock jumping does: decomposing the module graph across shards
+— per the static partition manifest — is a *scheduling* change, never a
+*modeling* change, so a sharded lockstep run must be bit-identical to
+the serial engine: same final cycle, same per-kernel boundaries, and
+the same value of **every** counter (tick observers included; lockstep
+replays the serial pop order tick for tick, so nothing is excluded).
+
+This pillar runs each application twice per shard plan — once on the
+serial engine, once sharded — under two decompositions:
+
+* ``two-way``: the paper's SM-side / memory-side split, always
+  available;
+* ``manifest``: the full production partition from the
+  ``repro-partition/v1`` manifest (built fresh from the live source
+  tree, or loaded — with stale-fingerprint protection — from a path the
+  caller provides).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type
+
+from repro.frontend.config import GPUConfig
+from repro.simulators.base import PlanSimulator
+from repro.tracegen.suites import make_app
+from repro.check.report import CheckFinding, info
+from repro.check.shadow import compare_results
+from repro.sim.shard import ShardPlan
+
+_CHECK = "shadow-sharded"
+
+
+def default_shard_plans(
+    partition_manifest: Optional[str] = None,
+) -> List[ShardPlan]:
+    """The decompositions the pillar exercises: the two-way split plus
+    the full manifest partition.
+
+    With ``partition_manifest`` the manifest is loaded from disk through
+    :func:`repro.analyze.partition.load_manifest`, so a manifest written
+    against a different source tree fails closed
+    (:class:`repro.errors.PartitionStale`) instead of silently checking
+    the wrong decomposition.  Without it the manifest is rebuilt
+    in-memory from the live tree — always current, a little slower.
+    """
+    from repro.analyze.index import load_index
+    from repro.analyze.partition import (
+        build_partition,
+        default_source_root,
+        load_manifest,
+    )
+
+    plans = [ShardPlan.two_way()]
+    if partition_manifest:
+        manifest = load_manifest(partition_manifest)
+    else:
+        root = default_source_root()
+        index = load_index([root], root=root)
+        manifest = build_partition(index).manifest(index)
+    # Saboteurs and other late-added modules the analyzer never placed
+    # need a fallback shard; the first manifest shard (the SM side) is
+    # the conventional home.
+    fallback = str(manifest["shards"][0]["name"])
+    plans.append(ShardPlan.from_manifest(manifest, fallback=fallback))
+    return plans
+
+
+def sharded_equivalence_check(
+    simulator: PlanSimulator,
+    app,
+    plan: ShardPlan,
+    max_kernel_cycles: Optional[int] = None,
+) -> List[CheckFinding]:
+    """Run ``app`` serially and under ``plan``; demand bit-identity."""
+    subject = f"{simulator.name} x {app.name} [{plan.name}/{len(plan.shards)}]"
+    kwargs = {}
+    if max_kernel_cycles is not None:
+        kwargs["max_kernel_cycles"] = max_kernel_cycles
+    serial = simulator.simulate(app, **kwargs)
+    sharded = simulator.simulate(app, shard_plan=plan, **kwargs)
+    findings = compare_results(
+        subject, serial, sharded,
+        ignore_counters=frozenset(),
+        check=_CHECK,
+        labels=("serial", "sharded"),
+    )
+    if not findings:
+        traffic = (sharded.sharding or {}).get("port_traffic", {})
+        findings.append(info(
+            _CHECK, subject,
+            f"serial and sharded runs bit-identical "
+            f"({serial.total_cycles} cycles, {len(plan.shards)} shards, "
+            f"{sum(traffic.values())} cross-shard port calls)",
+        ))
+    return findings
+
+
+def sharded_check(
+    config: GPUConfig,
+    names: Sequence[str],
+    scale: str = "tiny",
+    simulator_classes: Sequence[Type[PlanSimulator]] = (),
+    partition_manifest: Optional[str] = None,
+    progress=None,
+) -> List[CheckFinding]:
+    """The pillar: every (simulator, app) pair under every default plan."""
+    plans = default_shard_plans(partition_manifest)
+    findings: List[CheckFinding] = []
+    for simulator_cls in simulator_classes:
+        for name in names:
+            app = make_app(name, scale=scale)
+            simulator = simulator_cls(config)
+            for plan in plans:
+                findings.extend(
+                    sharded_equivalence_check(simulator, app, plan)
+                )
+                if progress is not None:
+                    progress(
+                        f"sharded {simulator.name} x {name} [{plan.name}]"
+                    )
+    return findings

@@ -10,6 +10,22 @@ counters harvested by the :class:`~repro.sim.metrics.MetricsGatherer`.
 """
 
 from repro.sim.engine import ClockedModule, Engine, EngineChecker
+from repro.sim.parallel import (
+    ProcessRunOutcome,
+    ShardBuild,
+    ShardedEngine,
+    ShardStats,
+    run_sharded_processes,
+)
+from repro.sim.shard import (
+    ChannelEndpoint,
+    ShardChannel,
+    ShardPlan,
+    Transcript,
+    TranscriptWriter,
+    derive_lookahead,
+    load_transcript,
+)
 from repro.sim.metrics import (
     DuplicateModuleNameWarning,
     MetricsGatherer,
@@ -23,13 +39,20 @@ from repro.sim.plan import (
     SWIFT_MEMORY_PLAN,
     ModelingPlan,
 )
-from repro.sim.ports import PENDING, CompletionListener, InstructionSink, IssueResult
+from repro.sim.ports import (
+    PENDING,
+    CompletionListener,
+    InstructionSink,
+    IssueResult,
+    ShardPortProxy,
+)
 
 __all__ = [
     "ACCEL_LIKE_PLAN",
     "COMPONENTS",
     "SWIFT_BASIC_PLAN",
     "SWIFT_MEMORY_PLAN",
+    "ChannelEndpoint",
     "ClockedModule",
     "CompletionListener",
     "Counters",
@@ -44,4 +67,16 @@ __all__ = [
     "ModelingPlan",
     "Module",
     "PENDING",
+    "ProcessRunOutcome",
+    "ShardBuild",
+    "ShardChannel",
+    "ShardPlan",
+    "ShardPortProxy",
+    "ShardStats",
+    "ShardedEngine",
+    "Transcript",
+    "TranscriptWriter",
+    "derive_lookahead",
+    "load_transcript",
+    "run_sharded_processes",
 ]

@@ -1,0 +1,103 @@
+"""Sharded check pillar + golden-cycle regression for sharded runs.
+
+`tests/data/golden_sharded_cycles.json` snapshots the cycle counts of
+all three simulators over the Rodinia suite on the RTX 2080 Ti preset,
+run on the sharded PDES engine under both default decompositions (the
+two-way SM/memory split and the full partition-manifest plan).  Two
+invariants are pinned:
+
+* **regression**: sharded cycle counts never drift from the snapshot;
+* **cross-check**: every sharded entry equals the *serial* golden entry
+  in ``golden_suite_cycles.json`` — the bit-equivalence contract means
+  the two fixtures can never legitimately disagree.  A timing-model
+  change therefore regenerates both fixtures together (same recipe as
+  the serial one, plus ``shard_plan=`` per plan).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import AccelSimLike, SwiftSimBasic, SwiftSimMemory, get_preset, make_app
+from repro.check.sharded import default_shard_plans, sharded_equivalence_check
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+with (DATA / "golden_sharded_cycles.json").open() as _fh:
+    FIXTURE = json.load(_fh)
+with (DATA / "golden_suite_cycles.json").open() as _fh:
+    SERIAL_FIXTURE = json.load(_fh)
+
+_SIMULATORS = {
+    "AccelSimLike": AccelSimLike,
+    "SwiftSimBasic": SwiftSimBasic,
+    "SwiftSimMemory": SwiftSimMemory,
+}
+
+
+@pytest.fixture(scope="module")
+def plans():
+    """Both default decompositions, keyed by plan name (the manifest
+    plan is built once from the live tree — it is the expensive part)."""
+    resolved = {plan.name: plan for plan in default_shard_plans()}
+    assert sorted(resolved) == FIXTURE["plans"]
+    return resolved
+
+
+def test_fixtures_cover_the_same_suite():
+    assert FIXTURE["suite"] == SERIAL_FIXTURE["suite"]
+    assert FIXTURE["scale"] == SERIAL_FIXTURE["scale"]
+    assert FIXTURE["gpu_preset"] == SERIAL_FIXTURE["gpu_preset"]
+    assert sorted(FIXTURE["cycles"]) == sorted(SERIAL_FIXTURE["cycles"])
+
+
+def test_sharded_golden_equals_serial_golden():
+    """The fixtures themselves must embody bit-equivalence: a sharded
+    golden entry that differs from the serial golden is a fixture bug
+    (or a contract violation snapshotted by mistake)."""
+    for app_name, per_sim in FIXTURE["cycles"].items():
+        for sim_name, per_plan in per_sim.items():
+            serial = SERIAL_FIXTURE["cycles"][app_name][sim_name]
+            for plan_name, cycles in per_plan.items():
+                assert cycles == serial, (
+                    f"{sim_name} on {app_name} [{plan_name}]: sharded "
+                    f"golden {cycles} != serial golden {serial}"
+                )
+
+
+@pytest.mark.parametrize("plan_name", FIXTURE["plans"])
+@pytest.mark.parametrize("app_name", sorted(FIXTURE["cycles"]))
+@pytest.mark.parametrize("simulator_name", sorted(_SIMULATORS))
+def test_golden_sharded_cycles(simulator_name, app_name, plan_name, plans):
+    gpu = get_preset(FIXTURE["gpu_preset"])
+    app = make_app(app_name, scale=FIXTURE["scale"])
+    simulator = _SIMULATORS[simulator_name](gpu)
+    cycles = simulator.simulate(
+        app, gather_metrics=False, shard_plan=plans[plan_name]
+    ).total_cycles
+    golden = FIXTURE["cycles"][app_name][simulator_name][plan_name]
+    assert cycles == golden, (
+        f"{simulator_name} on {app_name} [{plan_name}]: sharded timing "
+        f"changed (got {cycles}, golden {golden}); the parallel engine "
+        f"must never shift cycle counts — fix the engine, do not "
+        f"regenerate (unless the serial golden moved too)"
+    )
+
+
+def test_equivalence_check_compares_every_counter(plans):
+    """The pillar itself: full-metrics comparison (no tick-observer
+    exclusions) comes back clean on the manifest decomposition."""
+    gpu = get_preset(FIXTURE["gpu_preset"])
+    app = make_app("bfs", scale="tiny")
+    findings = sharded_equivalence_check(
+        SwiftSimMemory(gpu), app, plans["manifest"]
+    )
+    assert [f for f in findings if f.severity == "violation"] == []
+    assert any("bit-identical" in f.message for f in findings)
+
+
+def test_runner_exposes_the_sharded_mode():
+    from repro.check import MODES
+
+    assert "sharded" in MODES

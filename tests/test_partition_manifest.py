@@ -1,0 +1,126 @@
+"""Stale-manifest protection for the partition loader.
+
+The PDES core consumes the partition manifest as its decomposition
+input and trusts its cross-shard edge list completely, so a manifest
+generated from any *other* source tree must fail closed with the typed
+:class:`repro.errors.PartitionStale` — never load silently.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.partition import (
+    MANIFEST_FORMAT,
+    default_source_root,
+    load_manifest,
+    tree_fingerprint,
+    write_manifest,
+)
+from repro.errors import AnalysisError, PartitionStale
+from repro.sim.shard import ShardPlan
+
+
+def manifest_doc(fingerprint):
+    doc = {
+        "format": MANIFEST_FORMAT,
+        "analyzer_version": 1,
+        "shards": [
+            {"name": "sm", "classes": ["SMCore"], "components": ["sm"]},
+            {"name": "memory", "classes": ["NoC"], "components": ["noc"]},
+        ],
+        "cross_shard_edges": [],
+        "unsynchronized_writes": [],
+        "unsynchronized_reads": [],
+        "summary": {"shards": 2},
+    }
+    if fingerprint is not None:
+        doc["source"] = {"fingerprint": fingerprint, "files": 1}
+    return doc
+
+
+def test_stale_manifest_fails_closed(tmp_path):
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest_doc("0" * 64), str(path))
+    with pytest.raises(PartitionStale) as excinfo:
+        load_manifest(str(path))
+    assert excinfo.value.expected_fingerprint == "0" * 64
+    assert excinfo.value.actual_fingerprint
+    assert "regenerate" in str(excinfo.value)
+
+
+def test_manifest_without_fingerprint_is_treated_as_stale(tmp_path):
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest_doc(None), str(path))
+    with pytest.raises(PartitionStale):
+        load_manifest(str(path))
+
+
+def test_allow_stale_bypasses_the_check_explicitly(tmp_path):
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest_doc("0" * 64), str(path))
+    manifest = load_manifest(str(path), allow_stale=True)
+    assert manifest["summary"]["shards"] == 2
+
+
+def test_current_fingerprint_loads(tmp_path):
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest_doc(tree_fingerprint(default_source_root())),
+                   str(path))
+    manifest = load_manifest(str(path))
+    plan = ShardPlan.from_manifest(manifest, fallback="sm")
+    assert plan.shards == ("sm", "memory")
+    assert plan.by_class["SMCore"] == "sm"
+
+
+def test_wrong_format_is_an_analysis_error(tmp_path):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps({"format": "something-else/v9"}))
+    with pytest.raises(AnalysisError):
+        load_manifest(str(path))
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    with pytest.raises(AnalysisError):
+        load_manifest(str(garbled))
+    with pytest.raises(AnalysisError):
+        load_manifest(str(tmp_path / "missing.json"))
+
+
+def test_fingerprint_tracks_content_renames_and_deletions(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "a.py").write_text("x = 1\n")
+    (tree / "b.py").write_text("y = 2\n")
+    base = tree_fingerprint(tree)
+    assert base == tree_fingerprint(tree)  # deterministic
+
+    (tree / "a.py").write_text("x = 3\n")
+    edited = tree_fingerprint(tree)
+    assert edited != base
+
+    (tree / "a.py").write_text("x = 1\n")
+    assert tree_fingerprint(tree) == base  # reverting restores it
+
+    (tree / "a.py").rename(tree / "c.py")
+    assert tree_fingerprint(tree) != base
+
+    (tree / "c.py").unlink()
+    assert tree_fingerprint(tree) != base
+
+
+def test_generated_manifest_roundtrips_through_the_loader(tmp_path):
+    """End-to-end: the manifest the analyzer emits for the real source
+    tree loads cleanly and yields the full production shard plan."""
+    from repro.analyze.index import load_index
+    from repro.analyze.partition import build_partition
+
+    src = default_source_root()
+    index = load_index([src], root=src)
+    manifest = build_partition(index).manifest(index)
+    path = tmp_path / "manifest.json"
+    write_manifest(manifest, str(path))
+    loaded = load_manifest(str(path))
+    plan = ShardPlan.from_manifest(loaded, fallback=loaded["shards"][0]["name"])
+    assert len(plan.shards) == loaded["summary"]["shards"]
+    assert loaded["summary"]["unsynchronized_writes"] == 0
