@@ -1,0 +1,302 @@
+"""Shard-fault check: chaos-killed sharded runs must stay bit-identical.
+
+This pillar drills :mod:`repro.sim.shardfault` from both ends:
+
+* **Multiprocess drills** run the synthetic demo system under the real
+  :class:`~repro.sim.shardfault.ShardSupervisor` with seeded chaos shard
+  kills and hangs — workers genuinely ``os._exit`` or sleep past their
+  heartbeat deadline — and demand that the recovered (or degraded) run
+  reproduces the serial engine's final cycle and **every** counter with
+  an empty ignore set.  The hang drill additionally asserts the run
+  *completes* within a wall-clock bound: a hung worker must be reaped at
+  its deadline, never block the barrier forever.
+
+* **Simulator drills** run the production simulators supervised
+  (``simulate(shard_plan=..., fault_policy=...)``) with chaos faults on
+  the lockstep boundary seam, comparing against the serial run via the
+  same empty-ignore-set machinery the sharded pillar uses, and verify
+  the ``fault_tolerance`` tagging — including the forced-degrade path
+  (kill rate 1, one attempt) whose result must say
+  ``mode="lockstep-degraded"`` and still match serial bit for bit.
+
+Like "serve", this pillar spawns worker processes, so it runs only when
+requested by name (``repro check --mode shardfault``), never under
+"all".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Type
+
+from repro.frontend.config import GPUConfig
+from repro.resilience.chaos import ChaosPlan
+from repro.resilience.policy import RetryPolicy
+from repro.check.report import CheckFinding, info, violation
+from repro.check.shadow import compare_results
+from repro.sim.engine import Engine
+from repro.sim.shard import ShardPlan
+from repro.sim.shardfault import ShardFaultPolicy, ShardSupervisor
+from repro.sim.synthetic import (
+    SyntheticSpec,
+    attach_serial,
+    build_shard,
+    build_system,
+    collect_counters,
+    demo_spec,
+)
+from repro.simulators.base import PlanSimulator
+from repro.tracegen.suites import make_app
+
+_CHECK = "shardfault"
+
+#: Wall-clock ceiling for the hung-worker drill.  Generous versus the
+#: sub-second heartbeat deadline it configures — the assertion is that
+#: reaping happens at the deadline rather than never, not a perf bound.
+HANG_DRILL_CEILING_SECONDS = 60.0
+
+
+def _serial_reference(spec: SyntheticSpec):
+    modules, channels = build_system(spec)
+    engine = Engine(allow_jump=True, start_cycle=0)
+    attach_serial(engine, modules, channels)
+    final = engine.run(max_cycles=1_000_000_000)
+    return final, collect_counters(modules)
+
+
+def _diff_counters(reference, observed) -> str:
+    for name in sorted(set(reference) | set(observed)):
+        if reference.get(name) != observed.get(name):
+            return (
+                f"first divergence at {name!r}: "
+                f"serial={reference.get(name)} vs {observed.get(name)}"
+            )
+    return "counter key sets match but values differ"
+
+
+def _supervised_drill(
+    label: str,
+    spec: SyntheticSpec,
+    policy: ShardFaultPolicy,
+    *,
+    expect_degraded: Optional[bool] = None,
+    expect_faults: bool = True,
+    bundle_dir=None,
+) -> List[CheckFinding]:
+    findings: List[CheckFinding] = []
+    serial_final, reference = _serial_reference(spec)
+    supervisor = ShardSupervisor(
+        build_shard, (spec,), spec.shards, spec.routes(),
+        lookahead=spec.min_cross_latency(),
+        policy=policy,
+        bundle_dir=bundle_dir,
+        task=label,
+    )
+    started = time.monotonic()
+    outcome = supervisor.run()
+    elapsed = time.monotonic() - started
+    subject = f"synthetic drill [{label}]"
+    if outcome.final_cycle != serial_final:
+        findings.append(violation(
+            _CHECK, subject,
+            f"final cycle diverged: serial={serial_final} vs "
+            f"supervised={outcome.final_cycle}",
+        ))
+    if outcome.counters != reference:
+        findings.append(violation(
+            _CHECK, subject, _diff_counters(reference, outcome.counters),
+        ))
+    if expect_faults and not outcome.injected:
+        findings.append(violation(
+            _CHECK, subject,
+            "drill injected no shard faults — chaos rates/seed make the "
+            "drill vacuous",
+        ))
+    if expect_degraded is not None and outcome.degraded != expect_degraded:
+        findings.append(violation(
+            _CHECK, subject,
+            f"expected degraded={expect_degraded}, got {outcome.degraded} "
+            f"(mode={outcome.mode!r}, faults={len(outcome.faults)}, "
+            f"recoveries={outcome.recoveries})",
+        ))
+    if elapsed > HANG_DRILL_CEILING_SECONDS:
+        findings.append(violation(
+            _CHECK, subject,
+            f"drill took {elapsed:.1f}s — a worker blocked past its "
+            f"deadline instead of being reaped",
+        ))
+    if not findings:
+        findings.append(info(
+            _CHECK, subject,
+            f"bit-identical to serial after {len(outcome.injected)} "
+            f"injected fault(s), {outcome.recoveries} replay "
+            f"recoveries, degraded={outcome.degraded} "
+            f"({elapsed:.1f}s, {outcome.windows} windows)",
+        ))
+    return findings
+
+
+def synthetic_drills(bundle_dir=None, progress=None) -> List[CheckFinding]:
+    """The three multiprocess drills: kill-recovery, hang-within-
+    deadline, and forced degrade-to-lockstep."""
+    findings: List[CheckFinding] = []
+    spec = demo_spec(shards=2, nodes_per_shard=3, seed=11, latency=4)
+
+    findings.extend(_supervised_drill(
+        "kill-recovery", spec,
+        ShardFaultPolicy(
+            retry=RetryPolicy(max_attempts=8, base_delay=0.0, jitter=0.0),
+            chaos=ChaosPlan(seed=1337, shard_kill_rate=0.35),
+            window_deadline_seconds=20.0,
+            build_deadline_seconds=20.0,
+            degrade=True,
+        ),
+    ))
+    if progress is not None:
+        progress("shardfault drill kill-recovery")
+
+    findings.extend(_supervised_drill(
+        "hang-deadline", spec,
+        ShardFaultPolicy(
+            retry=RetryPolicy(max_attempts=8, base_delay=0.0, jitter=0.0),
+            chaos=ChaosPlan(
+                seed=20258, shard_hang_rate=0.30, shard_hang_seconds=5.0,
+            ),
+            window_deadline_seconds=0.4,
+            build_deadline_seconds=20.0,
+            degrade=True,
+        ),
+    ))
+    if progress is not None:
+        progress("shardfault drill hang-deadline")
+
+    findings.extend(_supervised_drill(
+        "forced-degrade", spec,
+        ShardFaultPolicy(
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0),
+            chaos=ChaosPlan(seed=7, shard_kill_rate=1.0),
+            window_deadline_seconds=20.0,
+            build_deadline_seconds=20.0,
+            degrade=True,
+        ),
+        expect_degraded=True,
+        bundle_dir=bundle_dir,
+    ))
+    if progress is not None:
+        progress("shardfault drill forced-degrade")
+    return findings
+
+
+def supervised_simulate_check(
+    simulator: PlanSimulator,
+    app,
+    policy: ShardFaultPolicy,
+    *,
+    expect_degraded: Optional[bool] = None,
+) -> List[CheckFinding]:
+    """Serial vs supervised-sharded run of one (simulator, app) pair."""
+    plan = ShardPlan.two_way()
+    subject = (
+        f"{simulator.name} x {app.name} "
+        f"[supervised/{'degrade' if expect_degraded else 'recover'}]"
+    )
+    serial = simulator.simulate(app)
+    supervised = simulator.simulate(
+        app, shard_plan=plan, fault_policy=policy,
+    )
+    findings = compare_results(
+        subject, serial, supervised,
+        ignore_counters=frozenset(),
+        check=_CHECK,
+        labels=("serial", "supervised"),
+    )
+    tolerance = (supervised.sharding or {}).get("fault_tolerance")
+    if tolerance is None:
+        findings.append(violation(
+            _CHECK, subject,
+            "supervised run carries no sharding['fault_tolerance'] record",
+        ))
+        tolerance = {}
+    if expect_degraded is not None:
+        mode = (supervised.sharding or {}).get("mode")
+        if bool(tolerance.get("degraded")) != expect_degraded:
+            findings.append(violation(
+                _CHECK, subject,
+                f"expected degraded={expect_degraded}, got "
+                f"{tolerance.get('degraded')} (mode={mode!r})",
+            ))
+        if expect_degraded and mode != "lockstep-degraded":
+            findings.append(violation(
+                _CHECK, subject,
+                f"degraded run must be tagged mode='lockstep-degraded', "
+                f"got {mode!r}",
+            ))
+    if not any(f.severity == "violation" for f in findings):
+        findings.append(info(
+            _CHECK, subject,
+            f"bit-identical to serial ({serial.total_cycles} cycles) "
+            f"after {tolerance.get('attempts', '?')} attempt(s), "
+            f"{len(tolerance.get('faults', []))} fault(s), "
+            f"degraded={tolerance.get('degraded')}",
+        ))
+    return findings
+
+
+def shardfault_check(
+    config: GPUConfig,
+    names: Sequence[str],
+    scale: str = "tiny",
+    simulator_classes: Sequence[Type[PlanSimulator]] = (),
+    bundle_dir=None,
+    progress=None,
+) -> List[CheckFinding]:
+    """The pillar: multiprocess drills + supervised simulator runs."""
+    findings = synthetic_drills(bundle_dir=bundle_dir, progress=progress)
+
+    # Hybrid simulators only (like the resilience pillar): the
+    # cycle-accurate baseline would dominate wall time without changing
+    # what the supervision layer is exercising.
+    classes = list(simulator_classes)[1:] or list(simulator_classes)
+    recovery_policy = ShardFaultPolicy(
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+        # Seed chosen so the CI apps (bfs, gemm, sm) each draw at least
+        # one fault on an early attempt and a clean slot within the
+        # budget — the recovery path is exercised, never vacuous.
+        chaos=ChaosPlan(
+            seed=2, shard_kill_rate=0.35, shard_hang_rate=0.20,
+        ),
+        degrade=True,
+    )
+    degrade_policy = ShardFaultPolicy(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+        chaos=ChaosPlan(seed=4, shard_kill_rate=1.0),
+        degrade=True,
+    )
+    faults_seen = 0
+    for simulator_cls in classes:
+        for name in names:
+            app = make_app(name, scale=scale)
+            simulator = simulator_cls(config)
+            pair = supervised_simulate_check(simulator, app, recovery_policy)
+            findings.extend(pair)
+            if progress is not None:
+                progress(f"shardfault {simulator.name} x {name}")
+        # One forced-degrade pair per simulator bounds the pillar's cost.
+        if names:
+            app = make_app(names[0], scale=scale)
+            findings.extend(supervised_simulate_check(
+                simulator_cls(config), app, degrade_policy,
+                expect_degraded=True,
+            ))
+            if progress is not None:
+                progress(f"shardfault {simulator_cls(config).name} degrade")
+    for finding in findings:
+        if finding.severity == "info" and "fault(s)" in finding.message:
+            faults_seen += 0 if ", 0 fault(s)" in finding.message else 1
+    if classes and names and faults_seen == 0:
+        findings.append(violation(
+            _CHECK, "supervised simulators",
+            "no chaos shard fault fired across any supervised pair — "
+            "the recovery ladder was never exercised",
+        ))
+    return findings

@@ -156,6 +156,7 @@ class EvaluationHarness:
         scale: str = "small",
         apps: Optional[Sequence[str]] = None,
         shard_plan=None,
+        fault_policy=None,
     ) -> None:
         self.config = config
         self.scale = scale
@@ -165,6 +166,11 @@ class EvaluationHarness:
         #: :class:`PlanSimulator` measurement runs on the sharded PDES
         #: engine (bit-identical to serial by the engine contract).
         self.shard_plan = shard_plan
+        #: Optional :class:`~repro.sim.shardfault.ShardFaultPolicy`:
+        #: when set alongside ``shard_plan``, sharded runs are
+        #: supervised — chaos shard faults are retried and exhausted
+        #: retries degrade to lockstep instead of failing the pair.
+        self.fault_policy = fault_policy
 
     def evaluate(
         self,
@@ -267,6 +273,8 @@ class EvaluationHarness:
         kwargs = {}
         if self.shard_plan is not None:
             kwargs["shard_plan"] = self.shard_plan
+            if self.fault_policy is not None:
+                kwargs["fault_policy"] = self.fault_policy
         if guard is None:
             return simulator.simulate(app, gather_metrics=False, **kwargs)
         per_pair = guard

@@ -196,7 +196,8 @@ class SweepService:
             key=identity["key"][:16],
             fn=execute_job,
             args=(request.app, request.scale, request.config,
-                  request.gpu, request.simulator),
+                  request.gpu, request.simulator,
+                  request.parallel_shards, request.shard_fault),
             validate=validate_result_payload,
         )
         supervisor = Supervisor(

@@ -50,10 +50,18 @@ messages are exchanged at barriers keyed by their sender-side
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CycleBudgetExceeded, ShardSyncError, SimulationError
+from repro.errors import (
+    CycleBudgetExceeded,
+    ShardCrash,
+    ShardHang,
+    ShardSyncError,
+    SimulationError,
+)
 from repro.sim.engine import (
     ClockedModule,
     Engine,
@@ -161,6 +169,13 @@ class ShardedEngine:
         self.cycle = start_cycle
         self.config = EngineConfig(allow_jump=allow_jump, start_cycle=start_cycle)
         self.checker: Optional[EngineChecker] = None
+        #: Optional fault-injection hook consulted at every global cycle
+        #: boundary — the same consistent cut the checker seam uses.  A
+        #: supervised run (:mod:`repro.sim.shardfault`) installs a
+        #: callable that raises :class:`~repro.errors.ShardFault` at its
+        #: chaos-chosen boundary; pure observation otherwise, so the
+        #: schedule is untouched when no fault fires.
+        self.fault_injector: Optional[Callable[[int], None]] = None
         self._forwarder = _ShardForwarder(self)
         self._engines: Dict[str, Engine] = {}
         for shard in plan.shards:
@@ -319,12 +334,15 @@ class ShardedEngine:
             cycle = best[0]
             if cycle > max_cycles:
                 raise CycleBudgetExceeded(max_cycles, cycle, best[2].name)
-            checker = self.checker
-            if checker is not None and cycle > self.cycle:
+            if cycle > self.cycle:
                 # Global cycle boundary: every tick below ``cycle`` on
                 # every shard has completed (this is the globally minimal
                 # pending event), so the snapshot is consistent.
-                checker.on_cycle_start(cycle)
+                if self.fault_injector is not None:
+                    self.fault_injector(cycle)
+                checker = self.checker
+                if checker is not None:
+                    checker.on_cycle_start(cycle)
             self.cycle = cycle
             best_engine.tick_once()
             ticks[best_name] = ticks.get(best_name, 0) + 1
@@ -387,11 +405,14 @@ class ShardedEngine:
                 break
             if boundary > max_cycles:
                 raise CycleBudgetExceeded(max_cycles, boundary, boundary_name)
-            checker = self.checker
-            if checker is not None and boundary > self.cycle:
+            if boundary > self.cycle:
                 # The cross-shard synchronization seam: all shards have
                 # fully executed every cycle below ``boundary``.
-                checker.on_cycle_start(boundary)
+                if self.fault_injector is not None:
+                    self.fault_injector(boundary)
+                checker = self.checker
+                if checker is not None:
+                    checker.on_cycle_start(boundary)
             self.cycle = boundary
             window_end = boundary + lookahead
             self.stats.windows += 1
@@ -449,7 +470,74 @@ class ProcessRunOutcome:
     shard_cycles: Dict[str, int] = field(default_factory=dict)
 
 
-def _shard_worker(
+#: Exit code a chaos-killed shard worker dies with (mirrors the
+#: resilience supervisor's ``CRASH_EXIT_CODE`` so post-mortems read the
+#: same either way; duplicated here to keep ``repro.sim`` free of a
+#: ``repro.resilience`` import).
+SHARD_CRASH_EXIT = 73
+
+
+def reap_worker(proc, join_timeout: float = 5.0) -> None:
+    """Terminate a worker process without ever leaking it.
+
+    ``terminate()`` sends SIGTERM, which a wedged or signal-ignoring
+    worker can outlive; if the follow-up ``join`` times out the reap
+    escalates to ``kill()`` (SIGKILL, non-ignorable) and re-joins, so
+    the caller's ``finally`` block always returns with the process dead.
+    """
+    if proc is None:
+        return
+    proc.terminate()
+    proc.join(timeout=join_timeout)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=join_timeout)
+
+
+def recv_bounded(parent, proc, shard: str, timeout: Optional[float],
+                  phase: str):
+    """Receive one worker message with death- and deadline-detection.
+
+    A bare ``Connection.recv()`` blocks forever on a hung worker and
+    surfaces a dead one as an opaque ``EOFError``.  This polls instead:
+    a closed pipe or dead process raises :class:`ShardCrash`, and a
+    worker silent past ``timeout`` seconds raises :class:`ShardHang`
+    (``timeout=None`` waits indefinitely but still detects death).
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        wait = 0.2
+        if deadline is not None:
+            wait = max(0.0, min(wait, deadline - time.monotonic()))
+        try:
+            if parent.poll(wait):
+                return parent.recv()
+        except (EOFError, OSError):
+            raise ShardCrash(
+                f"worker pipe closed during {phase}", shard=shard,
+            ) from None
+        if proc is not None and not proc.is_alive():
+            # The worker may have written its reply and exited between
+            # polls — drain the pipe once before declaring it dead.
+            try:
+                if parent.poll(0):
+                    return parent.recv()
+            except (EOFError, OSError):
+                pass
+            raise ShardCrash(
+                f"worker process died during {phase} "
+                f"(exit code {proc.exitcode})",
+                shard=shard,
+            )
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ShardHang(
+                f"worker silent past its {timeout:.1f}s deadline "
+                f"during {phase}",
+                shard=shard,
+            )
+
+
+def shard_worker(
     conn,
     builder: Callable[..., ShardBuild],
     builder_args: tuple,
@@ -495,7 +583,21 @@ def _shard_worker(
             message = conn.recv()
             command = message[0]
             if command == "window":
-                _, boundary, window_end, max_cycles, deliveries = message
+                boundary, window_end, max_cycles, deliveries = message[1:5]
+                # A supervised coordinator appends a sixth element: the
+                # chaos fault directive for this window (or None).  Its
+                # presence also requests a heartbeat, so the supervisor
+                # can tell "executing a long window" from "hung".
+                supervised = len(message) > 5
+                fault = message[5] if supervised else None
+                if supervised:
+                    conn.send(("heartbeat", boundary))
+                if fault is not None:
+                    if fault[0] == "kill":
+                        conn.close()
+                        os._exit(SHARD_CRASH_EXIT)
+                    elif fault[0] == "hang":
+                        time.sleep(fault[1])
                 try:
                     if engine.cycle < boundary:
                         engine.cycle = boundary
@@ -515,6 +617,35 @@ def _shard_worker(
                     conn.send((
                         "budget", exc.budget, exc.cycle, exc.module_name,
                     ))
+                except Exception as exc:
+                    conn.send(("error", type(exc).__name__, str(exc)))
+            elif command == "replay":
+                # Recovery path: this is a fresh worker replacing one
+                # that died.  Re-inject the shard's entire inbound
+                # message history (recorded by the supervisor in its
+                # REPROSHCH1 transcript) at the original (deliver, seq)
+                # keys and run to the failure boundary — the last
+                # window barrier, a globally consistent cut — which
+                # reproduces the dead worker's state bit-exactly.
+                _, boundary, records, replay_budget = message
+                try:
+                    for channel in build.channels_in.values():
+                        if channel.endpoint is not None:
+                            channel.bind_wakeup(
+                                lambda deliver, _e=channel.endpoint,
+                                _g=engine: _g.wake(_e, deliver)
+                            )
+                    for name, deliver, seq, payload in records:
+                        build.channels_in[name].inject(deliver, seq, payload)
+                    engine.run_until(boundary, max_cycles=replay_budget)
+                    for channel in build.channels_in.values():
+                        channel.unbind()
+                    # Everything re-emitted during replay already
+                    # crossed the barrier before the crash and lives in
+                    # the coordinator's routing state — discard it.
+                    for channel in build.channels_out.values():
+                        channel.drain()
+                    conn.send(("replayed", engine.cycle, next_event()))
                 except Exception as exc:
                     conn.send(("error", type(exc).__name__, str(exc)))
             elif command == "finish":
@@ -547,6 +678,7 @@ def run_sharded_processes(
     start_cycle: int = 0,
     max_cycles: int = 1_000_000_000,
     mp_context: Optional[str] = None,
+    build_deadline_seconds: Optional[float] = 60.0,
 ) -> ProcessRunOutcome:
     """Run the windowed protocol with one worker process per shard.
 
@@ -559,6 +691,14 @@ def run_sharded_processes(
     injected with their original ``(deliver, seq)`` keys, so the
     delivery schedule — and therefore every counter — is bit-identical
     to the in-process windowed (and serial) run.
+
+    The build handshake is deadline-bounded: a worker that dies or
+    hangs while constructing its :class:`ShardBuild` surfaces a typed
+    :class:`~repro.errors.ShardCrash` / :class:`~repro.errors.ShardHang`
+    within ``build_deadline_seconds`` instead of blocking the ready
+    ``recv()`` forever.  Fault *recovery* is the job of
+    :class:`repro.sim.shardfault.ShardSupervisor`, which wraps this
+    protocol with per-window heartbeats and transcript replay.
     """
     if lookahead < 1:
         raise SimulationError(f"lookahead must be >= 1 cycle (got {lookahead})")
@@ -577,7 +717,7 @@ def run_sharded_processes(
         for shard in shards:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
-                target=_shard_worker,
+                target=shard_worker,
                 args=(
                     child, builder, builder_args, shard,
                     allow_jump, start_cycle,
@@ -587,8 +727,10 @@ def run_sharded_processes(
             proc.start()
             child.close()
             workers[shard] = (parent, proc)
-        for shard, (parent, _proc) in workers.items():
-            reply = parent.recv()
+        for shard, (parent, proc) in workers.items():
+            reply = recv_bounded(
+                parent, proc, shard, build_deadline_seconds, "shard build",
+            )
             if reply[0] != "ready":
                 raise SimulationError(
                     f"shard {shard!r} worker failed to build: "
@@ -624,8 +766,10 @@ def run_sharded_processes(
                     msg for msg in in_flight[shard] if msg[1] >= window_end
                 ]
                 parent.send(("window", boundary, window_end, max_cycles, due))
-            for shard, (parent, _proc) in workers.items():
-                reply = parent.recv()
+            for shard, (parent, proc) in workers.items():
+                reply = recv_bounded(
+                    parent, proc, shard, None, "window barrier",
+                )
                 if reply[0] == "budget":
                     raise CycleBudgetExceeded(reply[1], reply[2], reply[3])
                 if reply[0] != "ok":
@@ -638,8 +782,16 @@ def run_sharded_processes(
                 if last is not None and last > final_cycle:
                     final_cycle = last
                 for name, deliver, seq, payload in outbox:
+                    dest = routes.get(name)
+                    if dest is None:
+                        raise SimulationError(
+                            f"shard {shard!r} emitted a message on "
+                            f"channel {name!r}, which is missing from "
+                            f"the route table (routed channels: "
+                            f"{sorted(routes)})"
+                        )
                     messages += 1
-                    in_flight[routes[name]].append(
+                    in_flight[dest].append(
                         (name, deliver, seq, payload)
                     )
             # Newly exchanged messages can arm shards that reported no
@@ -648,9 +800,9 @@ def run_sharded_processes(
         counters: Dict[str, Dict[str, int]] = {}
         shard_cycles: Dict[str, int] = {}
         unfinished: List[str] = []
-        for shard, (parent, _proc) in workers.items():
+        for shard, (parent, proc) in workers.items():
             parent.send(("finish",))
-            reply = parent.recv()
+            reply = recv_bounded(parent, proc, shard, None, "finalize")
             if reply[0] != "done":
                 raise SimulationError(
                     f"shard {shard!r} failed to finalize: {reply!r}"
@@ -677,5 +829,4 @@ def run_sharded_processes(
                 parent.close()
             except OSError:
                 pass
-            proc.terminate()
-            proc.join(timeout=5)
+            reap_worker(proc)

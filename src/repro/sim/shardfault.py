@@ -1,0 +1,842 @@
+"""Shard-fault tolerance: supervised PDES workers with replay recovery.
+
+:class:`ShardSupervisor` wraps the windowed multiprocess protocol of
+:func:`repro.sim.parallel.run_sharded_processes` with the fault-
+tolerance story the serial path already has (Supervisor, guard,
+ChaosPlan):
+
+* **Detection.**  Every barrier ``recv`` is deadline-bounded and every
+  window command requests a heartbeat, so a dead worker surfaces as a
+  typed :class:`~repro.errors.ShardCrash` and a silent one as a
+  :class:`~repro.errors.ShardHang` — never as an opaque ``EOFError`` or
+  an eternal block.
+
+* **Recovery.**  The window barrier is a globally consistent cut: at a
+  boundary ``B`` every shard has fully executed every cycle below ``B``
+  and every cross-shard message is either in a worker's channel queue
+  or in the coordinator's routing state.  The supervisor records every
+  message it routes to each shard in a ``REPROSHCH1`` channel
+  transcript, so recovery is: respawn the dead shard's worker (a fresh
+  deterministic build), replay its entire inbound message history at
+  the original ``(deliver, seq)`` keys, run to ``B`` — which reproduces
+  the dead worker's state bit-exactly — and re-enter the barrier as if
+  nothing happened.  Recovery is bounded per shard by a
+  :class:`~repro.resilience.policy.RetryPolicy`.
+
+* **Degradation.**  When recovery is exhausted (or the fault is not
+  retryable), the supervisor falls back to the in-process lockstep
+  engine — bit-exact by construction, immune to worker faults — via
+  :func:`run_degraded_lockstep`, and tags the outcome ``degraded``.
+  Either way the caller gets counters bit-identical to the serial run;
+  the ``shardfault`` check pillar asserts exactly that with an empty
+  ignore set.
+
+Faults are injected for drills through :class:`ChaosPlan`'s independent
+``"chaos-shard"`` seed stream (``shard_kill_rate`` / ``shard_hang_rate``)
+and delivered to workers as real faults: ``os._exit`` at window entry,
+or a sleep past the heartbeat deadline.
+
+:func:`simulate_supervised` applies the same attempt/degrade ladder to
+the production simulators' in-process sharded runs
+(``PlanSimulator.simulate(shard_plan=...)``), where the fault surface is
+the :attr:`ShardedEngine.fault_injector` seam at global cycle
+boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    CycleBudgetExceeded,
+    ShardCrash,
+    ShardFault,
+    ShardHang,
+    ShardProtocolError,
+    SimulationError,
+)
+from repro.resilience.chaos import NO_CHAOS, ChaosPlan
+from repro.resilience.policy import RetryPolicy
+from repro.sim.parallel import (
+    ShardBuild,
+    ShardedEngine,
+    reap_worker,
+    recv_bounded,
+    shard_worker,
+)
+from repro.sim.shard import ShardPlan, TranscriptWriter, load_transcript
+from repro.utils.rng import derive_seed
+
+#: Default recovery policy: two replay recoveries per shard before the
+#: run degrades, with a short deterministic backoff between respawns.
+DEFAULT_SHARD_RETRY = RetryPolicy(
+    max_attempts=3, base_delay=0.02, max_delay=0.5, jitter=0.0,
+)
+
+
+@dataclass(frozen=True)
+class ShardFaultPolicy:
+    """How a supervised sharded run detects, retries, and degrades.
+
+    ``retry.max_attempts`` bounds *consecutive* faults per shard (1 =
+    degrade on the first fault, the resilience supervisor's
+    convention); a shard that makes it through a window barrier earns
+    its budget back, so a long run under a steady low fault rate keeps
+    recovering instead of inevitably exhausting a lifetime budget.
+    Deadlines are wall-clock seconds; the window deadline restarts on
+    every heartbeat, so it bounds silence, not window length.
+    """
+
+    retry: RetryPolicy = DEFAULT_SHARD_RETRY
+    chaos: ChaosPlan = NO_CHAOS
+    window_deadline_seconds: float = 30.0
+    build_deadline_seconds: float = 30.0
+    degrade: bool = True
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "max_attempts": self.retry.max_attempts,
+            "window_deadline_seconds": self.window_deadline_seconds,
+            "build_deadline_seconds": self.build_deadline_seconds,
+            "degrade": self.degrade,
+            "shard_kill_rate": self.chaos.shard_kill_rate,
+            "shard_hang_rate": self.chaos.shard_hang_rate,
+            "chaos_seed": self.chaos.seed,
+        }
+
+
+#: Policy used when the caller passes none: no chaos, default retries.
+DEFAULT_SHARD_FAULT_POLICY = ShardFaultPolicy()
+
+
+@dataclass
+class ShardFaultRecord:
+    """One observed shard fault (chaos-injected or genuine)."""
+
+    shard: str
+    window: int
+    boundary: int
+    kind: str
+    attempt: int
+    recovered: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "window": self.window,
+            "boundary": self.boundary,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "recovered": self.recovered,
+        }
+
+
+@dataclass
+class SupervisedRunOutcome:
+    """Result of a :meth:`ShardSupervisor.run`.
+
+    Field-compatible with
+    :class:`repro.sim.parallel.ProcessRunOutcome`, extended with the
+    fault-tolerance record.  ``counters`` are bit-identical to the
+    serial run whether the run was clean, recovered, or degraded.
+    """
+
+    final_cycle: int
+    counters: Dict[str, Dict[str, int]]
+    windows: int
+    messages: int
+    shard_cycles: Dict[str, int] = field(default_factory=dict)
+    mode: str = "windowed-processes"
+    degraded: bool = False
+    recoveries: int = 0
+    faults: List[ShardFaultRecord] = field(default_factory=list)
+    injected: List[Dict[str, object]] = field(default_factory=list)
+    bundle_path: str = ""
+
+
+class ShardSupervisor:
+    """Fault-tolerant coordinator for the windowed multiprocess protocol.
+
+    Same builder/routes surface as
+    :func:`repro.sim.parallel.run_sharded_processes`; a clean run
+    executes the identical protocol (plus heartbeats and transcript
+    recording) and is therefore bit-identical to it.
+    """
+
+    def __init__(
+        self,
+        builder: Callable[..., ShardBuild],
+        builder_args: tuple,
+        shards: Sequence[str],
+        routes: Dict[str, str],
+        *,
+        lookahead: int,
+        allow_jump: bool = True,
+        start_cycle: int = 0,
+        max_cycles: int = 1_000_000_000,
+        mp_context: Optional[str] = None,
+        policy: ShardFaultPolicy = DEFAULT_SHARD_FAULT_POLICY,
+        transcript_dir: Optional[Path] = None,
+        bundle_dir: Optional[Path] = None,
+        task: str = "sharded",
+    ) -> None:
+        if lookahead < 1:
+            raise SimulationError(
+                f"lookahead must be >= 1 cycle (got {lookahead})"
+            )
+        unknown = sorted(set(routes.values()) - set(shards))
+        if unknown:
+            raise SimulationError(
+                f"channel routes target unknown shards: {unknown}"
+            )
+        self.builder = builder
+        self.builder_args = builder_args
+        self.shards = list(shards)
+        self.routes = dict(routes)
+        self.lookahead = lookahead
+        self.allow_jump = allow_jump
+        self.start_cycle = start_cycle
+        self.max_cycles = max_cycles
+        self.policy = policy
+        self.transcript_dir = (
+            Path(transcript_dir) if transcript_dir is not None else None
+        )
+        self.bundle_dir = Path(bundle_dir) if bundle_dir is not None else None
+        self.task = task
+        self._ctx = multiprocessing.get_context(mp_context)
+        # --- per-run state ---
+        self._workers: Dict[str, Tuple[object, object]] = {}
+        self._writers: Dict[str, TranscriptWriter] = {}
+        self._next_events: Dict[str, Optional[int]] = {}
+        self._in_flight: Dict[str, List[Tuple[str, int, int, object]]] = {}
+        self._attempts: Dict[str, int] = {}
+        self._window_index = 0
+        self.faults: List[ShardFaultRecord] = []
+        self.injected: List[Dict[str, object]] = []
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    # public entry point
+
+    def run(self) -> SupervisedRunOutcome:
+        owned_tmp: Optional[tempfile.TemporaryDirectory] = None
+        if self.transcript_dir is None:
+            owned_tmp = tempfile.TemporaryDirectory(prefix="repro-shch-")
+            self.transcript_dir = Path(owned_tmp.name)
+        try:
+            try:
+                return self._run_supervised()
+            except ShardFault as fault:
+                bundle = self._write_bundle(fault)
+                if not self.policy.degrade:
+                    raise
+                return self._degrade(bundle)
+        finally:
+            self._shutdown_workers()
+            if owned_tmp is not None:
+                owned_tmp.cleanup()
+                self.transcript_dir = None
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+
+    def _transcript_path(self, shard: str) -> Path:
+        return self.transcript_dir / f"{shard}.shch"
+
+    def _spawn(self, shard: str) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=shard_worker,
+            args=(
+                child, self.builder, self.builder_args, shard,
+                self.allow_jump, self.start_cycle,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._workers[shard] = (parent, proc)
+
+    def _handshake(self, shard: str) -> None:
+        reply = self._recv(
+            shard, self.policy.build_deadline_seconds, "shard build",
+        )
+        if reply[0] != "ready":
+            raise SimulationError(
+                f"shard {shard!r} worker failed to build: "
+                f"{reply[1]}: {reply[2]}"
+            )
+        self._next_events[shard] = reply[1]
+
+    def _recv(self, shard: str, timeout: Optional[float], phase: str):
+        parent, proc = self._workers[shard]
+        return recv_bounded(parent, proc, shard, timeout, phase)
+
+    def _send(self, shard: str, command: tuple) -> None:
+        parent, _proc = self._workers[shard]
+        try:
+            parent.send(command)
+        except (BrokenPipeError, OSError):
+            raise ShardCrash(
+                f"worker pipe broken while sending {command[0]!r}",
+                shard=shard,
+            ) from None
+
+    def _reap(self, shard: str) -> None:
+        entry = self._workers.pop(shard, None)
+        if entry is None:
+            return
+        parent, proc = entry
+        try:
+            parent.close()
+        except OSError:
+            pass
+        reap_worker(proc)
+
+    def _shutdown_workers(self) -> None:
+        for shard in list(self._workers):
+            self._reap(shard)
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # chaos + fault accounting
+
+    def _chaos_directive(self, shard: str) -> Optional[tuple]:
+        chaos = self.policy.chaos
+        if not chaos.shard_active:
+            return None
+        slot = f"{self.task}/{shard}@w{self._window_index}"
+        attempt = self._attempts.get(shard, 0) + 1
+        kind = chaos.decide_shard(slot, attempt)
+        if kind is None:
+            return None
+        self.injected.append({
+            "shard": shard,
+            "window": self._window_index,
+            "kind": kind,
+            "attempt": attempt,
+        })
+        if kind == "kill":
+            return ("kill",)
+        return ("hang", chaos.shard_hang_seconds)
+
+    def _note_fault(self, fault: ShardFault, boundary: int) -> ShardFaultRecord:
+        """Account a detected fault; raise it when retries are exhausted."""
+        shard = fault.shard
+        self._attempts[shard] = self._attempts.get(shard, 0) + 1
+        fault.attempt = self._attempts[shard]
+        fault.boundary = boundary
+        record = ShardFaultRecord(
+            shard=shard,
+            window=self._window_index,
+            boundary=boundary,
+            kind=fault.kind,
+            attempt=fault.attempt,
+        )
+        self.faults.append(record)
+        if (
+            not fault.retryable
+            or self._attempts[shard] >= self.policy.retry.max_attempts
+        ):
+            raise fault
+        return record
+
+    # ------------------------------------------------------------------
+    # recovery
+
+    def _recover(self, shard: str, boundary: int) -> None:
+        """Respawn ``shard``'s worker and replay it to ``boundary``.
+
+        The transcript holds every message ever routed to the shard —
+        shipped or still pending — so after replay the fresh worker owns
+        the complete inbound history and the coordinator's pending
+        queue for it is cleared.
+        """
+        self._reap(shard)
+        delay = self.policy.retry.backoff(
+            f"{self.task}/{shard}", self._attempts.get(shard, 1),
+        )
+        if delay > 0:
+            time.sleep(delay)
+        self._spawn(shard)
+        self._handshake(shard)
+        path = self._transcript_path(shard)
+        records: List[Tuple[str, int, int, object]] = []
+        if path.exists():
+            transcript = load_transcript(path)
+            records = [
+                (rec.channel, rec.deliver_cycle, rec.seq, rec.payload)
+                for rec in transcript.records
+            ]
+        self._send(shard, ("replay", boundary, records, self.max_cycles))
+        reply = self._recv(
+            shard, self.policy.window_deadline_seconds, "transcript replay",
+        )
+        if reply[0] == "error":
+            raise ShardProtocolError(
+                f"transcript replay diverged: {reply[1]}: {reply[2]}",
+                shard=shard, boundary=boundary,
+            )
+        if reply[0] != "replayed":
+            raise ShardProtocolError(
+                f"unexpected reply tag {reply[0]!r} to replay command",
+                shard=shard, boundary=boundary,
+            )
+        self._next_events[shard] = reply[2]
+        self._in_flight[shard] = []
+        self.recoveries += 1
+
+    def _await_window_reply(
+        self, shard: str, boundary: int, window_end: int,
+    ) -> Tuple[Optional[int], Optional[int], list]:
+        """Block (bounded) until ``shard`` reaches the barrier.
+
+        Handles heartbeats, detects faults, and drives recovery: after a
+        successful replay the window command is re-sent (empty
+        deliveries — replay already injected them; fresh chaos draw —
+        retries must be able to converge) and the wait restarts.
+        """
+        while True:
+            try:
+                reply = self._recv(
+                    shard, self.policy.window_deadline_seconds,
+                    "window barrier",
+                )
+            except ShardFault as fault:
+                record = self._note_fault(fault, boundary)
+                while True:
+                    try:
+                        self._recover(shard, boundary)
+                        break
+                    except ShardFault as again:
+                        record = self._note_fault(again, boundary)
+                record.recovered = True
+                self._send(shard, (
+                    "window", boundary, window_end, self.max_cycles, [],
+                    self._chaos_directive(shard),
+                ))
+                continue
+            tag = reply[0]
+            if tag == "heartbeat":
+                continue
+            if tag == "budget":
+                raise CycleBudgetExceeded(reply[1], reply[2], reply[3])
+            if tag == "error":
+                raise SimulationError(
+                    f"shard {shard!r} failed mid-window: "
+                    f"{reply[1]}: {reply[2]}"
+                )
+            if tag != "ok":
+                raise ShardProtocolError(
+                    f"unexpected reply tag {tag!r} at the window barrier",
+                    shard=shard, boundary=boundary,
+                )
+            return reply[1], reply[2], reply[3]
+
+    # ------------------------------------------------------------------
+    # the supervised protocol
+
+    def _run_supervised(self) -> SupervisedRunOutcome:
+        for shard in self.shards:
+            self._writers[shard] = TranscriptWriter(
+                self._transcript_path(shard),
+                meta={
+                    "shard": shard,
+                    "task": self.task,
+                    "protocol": "shardfault/1",
+                },
+            )
+            self._in_flight[shard] = []
+        for shard in self.shards:
+            self._spawn(shard)
+        for shard in self.shards:
+            self._handshake(shard)
+
+        windows = 0
+        messages = 0
+        final_cycle = self.start_cycle
+        last_window_end = self.start_cycle
+        while True:
+            boundary: Optional[int] = None
+            for upcoming in self._next_events.values():
+                if upcoming is not None and (
+                    boundary is None or upcoming < boundary
+                ):
+                    boundary = upcoming
+            for pending in self._in_flight.values():
+                for _name, deliver, _seq, _payload in pending:
+                    if boundary is None or deliver < boundary:
+                        boundary = deliver
+            if boundary is None:
+                break
+            if boundary > self.max_cycles:
+                raise CycleBudgetExceeded(
+                    self.max_cycles, boundary, "<sharded>",
+                )
+            window_end = boundary + self.lookahead
+            windows += 1
+            self._window_index = windows
+            for shard in self.shards:
+                due = [
+                    msg for msg in self._in_flight[shard]
+                    if msg[1] < window_end
+                ]
+                self._in_flight[shard] = [
+                    msg for msg in self._in_flight[shard]
+                    if msg[1] >= window_end
+                ]
+                try:
+                    self._send(shard, (
+                        "window", boundary, window_end, self.max_cycles, due,
+                        self._chaos_directive(shard),
+                    ))
+                except ShardFault as fault:
+                    # Dead before the command went out: recover now and
+                    # issue the command to the fresh worker (deliveries
+                    # are already in its replayed history).
+                    record = self._note_fault(fault, boundary)
+                    while True:
+                        try:
+                            self._recover(shard, boundary)
+                            break
+                        except ShardFault as again:
+                            record = self._note_fault(again, boundary)
+                    record.recovered = True
+                    self._send(shard, (
+                        "window", boundary, window_end, self.max_cycles, [],
+                        self._chaos_directive(shard),
+                    ))
+            for shard in self.shards:
+                last, upcoming, outbox = self._await_window_reply(
+                    shard, boundary, window_end,
+                )
+                # Reaching the barrier restores the shard's retry
+                # budget: max_attempts bounds consecutive faults.
+                self._attempts[shard] = 0
+                self._next_events[shard] = upcoming
+                if last is not None and last > final_cycle:
+                    final_cycle = last
+                for name, deliver, seq, payload in outbox:
+                    dest = self.routes.get(name)
+                    if dest is None:
+                        raise SimulationError(
+                            f"shard {shard!r} emitted a message on "
+                            f"channel {name!r}, which is missing from "
+                            f"the route table (routed channels: "
+                            f"{sorted(self.routes)})"
+                        )
+                    messages += 1
+                    self._in_flight[dest].append(
+                        (name, deliver, seq, payload)
+                    )
+                    self._writers[dest].record(
+                        channel=name, send_cycle=-1, deliver_cycle=deliver,
+                        seq=seq, payload=payload,
+                    )
+            last_window_end = window_end
+
+        counters: Dict[str, Dict[str, int]] = {}
+        shard_cycles: Dict[str, int] = {}
+        unfinished: List[str] = []
+        for shard in self.shards:
+            while True:
+                try:
+                    self._send(shard, ("finish",))
+                    reply = self._recv(
+                        shard, self.policy.window_deadline_seconds,
+                        "finalize",
+                    )
+                    break
+                except ShardFault as fault:
+                    record = self._note_fault(fault, last_window_end)
+                    while True:
+                        try:
+                            self._recover(shard, last_window_end)
+                            break
+                        except ShardFault as again:
+                            record = self._note_fault(again, last_window_end)
+                    record.recovered = True
+            if reply[0] != "done":
+                raise ShardProtocolError(
+                    f"unexpected reply {reply!r} to finish command",
+                    shard=shard, boundary=last_window_end,
+                )
+            _tag, shard_cycle, shard_counters, shard_unfinished = reply
+            shard_cycles[shard] = shard_cycle
+            counters.update(shard_counters)
+            unfinished.extend(shard_unfinished)
+        if unfinished:
+            raise SimulationError(
+                f"module(s) {sorted(unfinished)!r} went idle with work "
+                f"outstanding"
+            )
+        return SupervisedRunOutcome(
+            final_cycle=final_cycle,
+            counters=counters,
+            windows=windows,
+            messages=messages,
+            shard_cycles=shard_cycles,
+            mode="windowed-processes",
+            degraded=False,
+            recoveries=self.recoveries,
+            faults=list(self.faults),
+            injected=list(self.injected),
+        )
+
+    # ------------------------------------------------------------------
+    # degradation + forensics
+
+    def _degrade(self, bundle_path: str) -> SupervisedRunOutcome:
+        self._shutdown_workers()
+        outcome = run_degraded_lockstep(
+            self.builder, self.builder_args, self.shards,
+            allow_jump=self.allow_jump,
+            start_cycle=self.start_cycle,
+            max_cycles=self.max_cycles,
+        )
+        outcome.recoveries = self.recoveries
+        outcome.faults = list(self.faults)
+        outcome.injected = list(self.injected)
+        outcome.bundle_path = bundle_path
+        return outcome
+
+    def _write_bundle(self, fault: ShardFault) -> str:
+        """Preserve transcripts + fault history for post-mortem and CI."""
+        if self.bundle_dir is None:
+            return ""
+        self.bundle_dir.mkdir(parents=True, exist_ok=True)
+        stem = f"bundle_shardfault_{self.task}".replace("/", "_")
+        bundle = self.bundle_dir / stem
+        suffix = 1
+        while bundle.exists():
+            suffix += 1
+            bundle = self.bundle_dir / f"{stem}_{suffix}"
+        bundle.mkdir(parents=True)
+        transcripts = {}
+        for shard in self.shards:
+            writer = self._writers.get(shard)
+            if writer is not None:
+                writer.close()
+            path = self._transcript_path(shard)
+            if path.exists():
+                shutil.copy2(path, bundle / path.name)
+                transcripts[shard] = path.name
+        manifest = {
+            "kind": "shardfault",
+            "task": self.task,
+            "shards": self.shards,
+            "terminal_fault": {
+                "shard": fault.shard,
+                "kind": fault.kind,
+                "boundary": fault.boundary,
+                "attempt": fault.attempt,
+                "message": str(fault),
+            },
+            "faults": [record.as_dict() for record in self.faults],
+            "injected": list(self.injected),
+            "recoveries": self.recoveries,
+            "policy": self.policy.describe(),
+            "transcripts": transcripts,
+        }
+        (bundle / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True, default=str)
+        )
+        return str(bundle)
+
+
+def run_degraded_lockstep(
+    builder: Callable[..., ShardBuild],
+    builder_args: tuple,
+    shards: Sequence[str],
+    *,
+    allow_jump: bool = True,
+    start_cycle: int = 0,
+    max_cycles: int = 1_000_000_000,
+) -> SupervisedRunOutcome:
+    """Run the decomposition in-process on the lockstep engine.
+
+    This is the degradation target: every shard's build is constructed
+    in the parent, cross-shard channels are stitched send-stub →
+    endpoint (preserving sender ``(deliver, seq)`` keys), and the
+    lockstep coordinator pops globally minimal ``(cycle, rank)`` events
+    — the serial pop order, so the result is bit-exact by construction
+    and no worker process exists to fault.
+    """
+    builds = {shard: builder(*builder_args, shard) for shard in shards}
+    assignment: Dict[str, str] = {}
+    ranked: List[Tuple[int, object, int, str]] = []
+    for shard, build in builds.items():
+        for module, start, rank in build.modules:
+            assignment[module.name] = shard
+            ranked.append((rank, module, start, shard))
+    plan = ShardPlan.explicit(assignment, name="degraded-lockstep")
+    engine = ShardedEngine(
+        plan, allow_jump=allow_jump, start_cycle=start_cycle,
+        mode="lockstep",
+    )
+    for rank, module, start, _shard in sorted(ranked, key=lambda t: t[0]):
+        engine.add(module, start, rank=rank)
+    inbound = {}
+    for build in builds.values():
+        inbound.update(build.channels_in)
+    stitched = 0
+    message_count = [0]
+    for shard, build in builds.items():
+        for name, stub in build.channels_out.items():
+            target = inbound.get(name)
+            if target is None:
+                raise SimulationError(
+                    f"degraded lockstep cannot stitch channel {name!r} "
+                    f"(sent from shard {shard!r}): no shard builds its "
+                    f"receive side"
+                )
+            def _forward(_deliver, _stub=stub, _target=target):
+                for deliver, seq, payload in _stub.drain():
+                    message_count[0] += 1
+                    _target.inject(deliver, seq, payload)
+            stub.bind_wakeup(_forward)
+            stitched += 1
+        for name, channel in build.channels_local.items():
+            if channel.endpoint is not None:
+                engine.register_channel(channel)
+    final_cycle = engine.run(max_cycles=max_cycles)
+    counters: Dict[str, Dict[str, int]] = {}
+    for build in builds.values():
+        for module, _start, _rank in build.modules:
+            for walked in module.walk():
+                counters[walked.name] = walked.counters.as_dict()
+    return SupervisedRunOutcome(
+        final_cycle=final_cycle,
+        counters=counters,
+        windows=0,
+        messages=message_count[0],
+        shard_cycles={
+            shard: eng.cycle for shard, eng in engine.engines.items()
+        },
+        mode="lockstep-degraded",
+        degraded=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# the in-process (PlanSimulator) ladder
+
+
+class LockstepFaultInjector:
+    """Raise one chaos-chosen :class:`ShardFault` at a cycle boundary.
+
+    Installed on :attr:`ShardedEngine.fault_injector` for one supervised
+    attempt of a production sharded run.  The fault kind, the victim
+    shard, and the firing boundary (the N-th global cycle advance) are
+    all drawn from the ``"chaos-shard"`` seed stream keyed on
+    ``(task, attempt)``, so drills are bit-reproducible and a retry gets
+    a fresh draw.  When no fault is drawn (or after firing once) it is
+    pure observation — the schedule is untouched.
+    """
+
+    def __init__(
+        self, chaos: ChaosPlan, plan: ShardPlan, task: str, attempt: int,
+    ) -> None:
+        self.task = task
+        self.attempt = attempt
+        self.kind = chaos.decide_shard(task, attempt)
+        self.shard = plan.shards[
+            derive_seed("chaos-shard-victim", chaos.seed, task, attempt)
+            % len(plan.shards)
+        ]
+        self._countdown = 1 + (
+            derive_seed("chaos-shard-at", chaos.seed, task, attempt) % 61
+        )
+        self.fired_at: Optional[int] = None
+
+    def __call__(self, cycle: int) -> None:
+        if self.kind is None or self.fired_at is not None:
+            return
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self.fired_at = cycle
+        if self.kind == "kill":
+            raise ShardCrash(
+                "chaos-injected shard worker crash",
+                shard=self.shard, boundary=cycle, attempt=self.attempt,
+            )
+        raise ShardHang(
+            "chaos-injected shard worker hang (deadline exceeded)",
+            shard=self.shard, boundary=cycle, attempt=self.attempt,
+        )
+
+
+def simulate_supervised(
+    simulator,
+    app,
+    shard_plan: ShardPlan,
+    policy: ShardFaultPolicy,
+    **simulate_kwargs,
+):
+    """Supervised sharded simulation with retry and degrade-to-lockstep.
+
+    Runs ``simulator.simulate(app, shard_plan=...)`` with a chaos fault
+    injector armed at the engine's global cycle boundaries.  Each
+    attempt is a fresh full build, so a completed attempt is
+    bit-identical to the serial run regardless of faults on earlier
+    attempts.  When every attempt faults, the run degrades: the same
+    lockstep engine, injector disarmed — bit-exact by construction —
+    tagged ``mode="lockstep-degraded"`` in ``result.sharding``.
+    """
+    task = getattr(app, "name", str(app))
+    chaos = policy.chaos
+    faults: List[Dict[str, object]] = []
+    last_fault: Optional[ShardFault] = None
+    attempts = 0
+    for attempt in range(1, max(1, policy.retry.max_attempts) + 1):
+        attempts = attempt
+        injector = None
+        if chaos.shard_active:
+            injector = LockstepFaultInjector(chaos, shard_plan, task, attempt)
+        try:
+            result = simulator.simulate(
+                app, shard_plan=shard_plan, fault_injector=injector,
+                **simulate_kwargs,
+            )
+        except ShardFault as fault:
+            last_fault = fault
+            faults.append({
+                "shard": fault.shard,
+                "boundary": fault.boundary,
+                "kind": fault.kind,
+                "attempt": attempt,
+            })
+            delay = policy.retry.backoff(task, attempt)
+            if delay > 0:
+                time.sleep(delay)
+            continue
+        result.sharding["fault_tolerance"] = {
+            "attempts": attempt,
+            "faults": faults,
+            "degraded": False,
+            "policy": policy.describe(),
+        }
+        return result
+    if not policy.degrade:
+        raise last_fault
+    result = simulator.simulate(
+        app, shard_plan=shard_plan, **simulate_kwargs,
+    )
+    result.sharding["mode"] = "lockstep-degraded"
+    result.sharding["fault_tolerance"] = {
+        "attempts": attempts,
+        "faults": faults,
+        "degraded": True,
+        "policy": policy.describe(),
+    }
+    return result

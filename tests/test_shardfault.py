@@ -1,0 +1,400 @@
+"""Shard-fault tolerance suite (docs/parallel-engine.md, fault section).
+
+Covers the failure taxonomy, bounded handshakes (a worker that dies or
+hangs during ``ShardBuild`` must surface a typed error promptly, never
+block forever), typed outbox-routing errors, worker reaping escalation,
+the :class:`~repro.sim.shardfault.ShardSupervisor` recovery ladder
+(kill → replay → barrier re-entry, bit-identical), degradation to the
+in-process lockstep engine, chaos shard-stream determinism and
+independence, the ``simulate(fault_policy=...)`` path, and the serve
+worker integration.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import (
+    ShardCrash,
+    ShardFault,
+    ShardHang,
+    ShardProtocolError,
+    SimulationError,
+)
+from repro.resilience.chaos import ChaosPlan
+from repro.resilience.policy import RetryPolicy
+from repro.sim.engine import Engine
+from repro.sim.parallel import reap_worker, run_sharded_processes
+from repro.sim.shard import ShardPlan
+from repro.sim.shardfault import ShardFaultPolicy, ShardSupervisor
+from repro.sim.synthetic import (
+    attach_serial,
+    build_shard,
+    build_system,
+    collect_counters,
+    demo_spec,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=8, base_delay=0.0, jitter=0.0)
+
+
+def _serial(spec):
+    modules, channels = build_system(spec)
+    engine = Engine(allow_jump=True, start_cycle=0)
+    attach_serial(engine, modules, channels)
+    final = engine.run(max_cycles=10**9)
+    return final, collect_counters(modules)
+
+
+def _supervisor(spec, policy, **kwargs):
+    return ShardSupervisor(
+        build_shard, (spec,), spec.shards, spec.routes(),
+        lookahead=spec.min_cross_latency(),
+        policy=policy,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# failure taxonomy
+
+
+def test_taxonomy_kinds_and_retryability():
+    crash = ShardCrash("gone", shard="sm", boundary=40, attempt=2)
+    assert crash.kind == "shard-crash" and crash.retryable
+    assert "shard 'sm' at boundary 40 (attempt 2)" in str(crash)
+    assert ShardHang("quiet").retryable
+    proto = ShardProtocolError("bad tag")
+    assert proto.kind == "shard-protocol" and not proto.retryable
+    assert isinstance(crash, ShardFault)
+    assert isinstance(crash, SimulationError)
+
+
+# ---------------------------------------------------------------------------
+# build-phase handshake (satellite: dying/hanging builders must surface
+# typed errors promptly, not hang the parent)
+
+
+def _crashing_builder(spec, shard):
+    os._exit(73)
+
+
+def _hanging_builder(spec, shard):
+    time.sleep(300)
+
+
+def test_worker_crash_during_build_surfaces_typed_error():
+    spec = demo_spec()
+    started = time.monotonic()
+    with pytest.raises(ShardCrash) as excinfo:
+        run_sharded_processes(
+            _crashing_builder, (spec,), spec.shards, spec.routes(),
+            lookahead=spec.min_cross_latency(),
+        )
+    assert time.monotonic() - started < 30
+    assert "shard build" in str(excinfo.value)
+
+
+def test_worker_hang_during_build_bounded_by_deadline():
+    spec = demo_spec()
+    started = time.monotonic()
+    with pytest.raises(ShardHang) as excinfo:
+        run_sharded_processes(
+            _hanging_builder, (spec,), spec.shards, spec.routes(),
+            lookahead=spec.min_cross_latency(),
+            build_deadline_seconds=1.0,
+        )
+    assert time.monotonic() - started < 30
+    assert "shard build" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# outbox routing (satellite: typed error instead of KeyError)
+
+
+def test_unroutable_channel_is_a_typed_error():
+    spec = demo_spec()
+    routes = {}  # drop every cross-shard route
+    with pytest.raises(SimulationError) as excinfo:
+        run_sharded_processes(
+            build_shard, (spec,), spec.shards, routes,
+            lookahead=spec.min_cross_latency(),
+        )
+    message = str(excinfo.value)
+    assert "missing from the route table" in message
+    assert "shard" in message  # names the sending shard
+
+
+# ---------------------------------------------------------------------------
+# worker reaping (satellite: kill() escalation when terminate() is ignored)
+
+
+def _ignore_sigterm_forever():
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(60)
+
+
+def test_reap_worker_escalates_to_kill():
+    proc = multiprocessing.get_context("fork").Process(
+        target=_ignore_sigterm_forever
+    )
+    proc.start()
+    while not proc.is_alive():
+        time.sleep(0.01)
+    time.sleep(0.2)  # let the child install its SIGTERM handler
+    reap_worker(proc, join_timeout=0.3)
+    assert not proc.is_alive()
+    assert proc.exitcode == -signal.SIGKILL
+
+
+# ---------------------------------------------------------------------------
+# supervisor: recovery and degradation
+
+
+def test_kill_recovery_is_bit_identical():
+    spec = demo_spec(shards=2, nodes_per_shard=3, seed=11, latency=4)
+    serial_final, reference = _serial(spec)
+    supervisor = _supervisor(spec, ShardFaultPolicy(
+        retry=FAST_RETRY,
+        chaos=ChaosPlan(seed=1337, shard_kill_rate=0.35),
+        window_deadline_seconds=20.0,
+    ))
+    outcome = supervisor.run()
+    assert outcome.injected, "drill must inject at least one kill"
+    assert outcome.recoveries >= 1
+    assert not outcome.degraded
+    assert outcome.final_cycle == serial_final
+    assert outcome.counters == reference
+
+
+def test_hang_recovery_is_bit_identical_and_bounded():
+    spec = demo_spec(shards=2, nodes_per_shard=3, seed=11, latency=4)
+    serial_final, reference = _serial(spec)
+    supervisor = _supervisor(spec, ShardFaultPolicy(
+        retry=FAST_RETRY,
+        chaos=ChaosPlan(
+            seed=20258, shard_hang_rate=0.30, shard_hang_seconds=5.0,
+        ),
+        window_deadline_seconds=0.4,
+    ))
+    started = time.monotonic()
+    outcome = supervisor.run()
+    assert time.monotonic() - started < 60
+    assert any(f.kind == "shard-hang" for f in outcome.faults)
+    assert outcome.final_cycle == serial_final
+    assert outcome.counters == reference
+
+
+def test_exhausted_retries_degrade_to_lockstep(tmp_path):
+    spec = demo_spec(shards=2, nodes_per_shard=3, seed=11, latency=4)
+    serial_final, reference = _serial(spec)
+    supervisor = _supervisor(
+        spec,
+        ShardFaultPolicy(
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0),
+            chaos=ChaosPlan(seed=7, shard_kill_rate=1.0),
+            degrade=True,
+        ),
+        bundle_dir=tmp_path,
+    )
+    outcome = supervisor.run()
+    assert outcome.degraded
+    assert outcome.mode == "lockstep-degraded"
+    assert outcome.final_cycle == serial_final
+    assert outcome.counters == reference
+    with open(os.path.join(outcome.bundle_path, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    assert manifest["kind"] == "shardfault"
+    assert manifest["terminal_fault"]["kind"] == "shard-crash"
+
+
+def test_degrade_disabled_raises_terminal_fault():
+    spec = demo_spec()
+    supervisor = _supervisor(spec, ShardFaultPolicy(
+        retry=RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0),
+        chaos=ChaosPlan(seed=7, shard_kill_rate=1.0),
+        degrade=False,
+    ))
+    with pytest.raises(ShardFault):
+        supervisor.run()
+
+
+def test_no_chaos_supervised_matches_serial():
+    spec = demo_spec(shards=2, nodes_per_shard=2, seed=3, latency=5)
+    serial_final, reference = _serial(spec)
+    outcome = _supervisor(spec, ShardFaultPolicy(retry=FAST_RETRY)).run()
+    assert not outcome.faults and not outcome.degraded
+    assert outcome.final_cycle == serial_final
+    assert outcome.counters == reference
+
+
+# ---------------------------------------------------------------------------
+# chaos shard stream
+
+
+def test_decide_shard_is_deterministic_and_rate_gated():
+    plan = ChaosPlan(seed=5, shard_kill_rate=0.4, shard_hang_rate=0.3)
+    draws = [plan.decide_shard(f"t/s@w{i}", 1) for i in range(200)]
+    assert draws == [plan.decide_shard(f"t/s@w{i}", 1) for i in range(200)]
+    kinds = set(d for d in draws if d is not None)
+    assert kinds <= {"kill", "hang"} and kinds
+    assert ChaosPlan(seed=5).decide_shard("t/s@w0", 1) is None
+
+
+def test_shard_stream_independent_of_process_stream():
+    base = ChaosPlan(seed=9, crash_rate=0.5, hang_rate=0.2)
+    armed = ChaosPlan(
+        seed=9, crash_rate=0.5, hang_rate=0.2,
+        shard_kill_rate=0.5, shard_hang_rate=0.2,
+    )
+    for task in ("bfs", "gemm", "sm"):
+        for attempt in (1, 2, 3):
+            assert base.decide(task, attempt) == armed.decide(task, attempt)
+
+
+def test_shard_rates_validated():
+    with pytest.raises(Exception):
+        ChaosPlan(shard_kill_rate=0.8, shard_hang_rate=0.5)
+    with pytest.raises(Exception):
+        ChaosPlan(shard_kill_rate=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# simulate(fault_policy=...) ladder
+
+
+def _gpu():
+    from repro.frontend.presets import get_preset
+
+    return get_preset("rtx2080ti")
+
+
+def _app():
+    from repro.tracegen.suites import make_app
+
+    return make_app("bfs", scale="tiny")
+
+
+def test_simulate_supervised_recovers_bit_identical():
+    from repro.simulators.swift_basic import SwiftSimBasic
+
+    simulator = SwiftSimBasic(_gpu())
+    app = _app()
+    serial = simulator.simulate(app)
+    policy = ShardFaultPolicy(
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+        chaos=ChaosPlan(seed=2, shard_kill_rate=0.35, shard_hang_rate=0.2),
+    )
+    supervised = simulator.simulate(
+        app, shard_plan=ShardPlan.two_way(), fault_policy=policy,
+    )
+    assert supervised.total_cycles == serial.total_cycles
+    assert supervised.kernels == serial.kernels
+    tolerance = supervised.sharding["fault_tolerance"]
+    assert tolerance["faults"], "seed 2 must fire at least one fault"
+    assert not tolerance["degraded"]
+
+
+def test_simulate_supervised_degrades_when_exhausted():
+    from repro.simulators.swift_basic import SwiftSimBasic
+
+    simulator = SwiftSimBasic(_gpu())
+    app = _app()
+    serial = simulator.simulate(app)
+    policy = ShardFaultPolicy(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+        chaos=ChaosPlan(seed=4, shard_kill_rate=1.0),
+        degrade=True,
+    )
+    degraded = simulator.simulate(
+        app, shard_plan=ShardPlan.two_way(), fault_policy=policy,
+    )
+    assert degraded.total_cycles == serial.total_cycles
+    assert degraded.kernels == serial.kernels
+    assert degraded.sharding["mode"] == "lockstep-degraded"
+    tolerance = degraded.sharding["fault_tolerance"]
+    assert tolerance["degraded"] and len(tolerance["faults"]) == 2
+
+
+def test_simulate_supervised_degrade_disabled_raises():
+    from repro.simulators.swift_basic import SwiftSimBasic
+
+    policy = ShardFaultPolicy(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+        chaos=ChaosPlan(seed=4, shard_kill_rate=1.0),
+        degrade=False,
+    )
+    with pytest.raises(ShardFault):
+        SwiftSimBasic(_gpu()).simulate(
+            _app(), shard_plan=ShardPlan.two_way(), fault_policy=policy,
+        )
+
+
+def test_simulate_fault_policy_requires_shard_plan():
+    from repro.simulators.swift_basic import SwiftSimBasic
+
+    simulator = SwiftSimBasic(_gpu())
+    app = _app()
+    serial = simulator.simulate(app)
+    # fault_policy without a shard plan is ignored: plain serial run.
+    result = simulator.simulate(
+        app, fault_policy=ShardFaultPolicy(retry=FAST_RETRY),
+    )
+    assert result.total_cycles == serial.total_cycles
+    assert "fault_tolerance" not in (result.sharding or {})
+
+
+# ---------------------------------------------------------------------------
+# serve integration
+
+
+def test_execute_job_supervised_matches_serial():
+    from repro.serve.worker import execute_job
+
+    serial = execute_job("bfs", "tiny", None, "rtx2080ti", "swift-basic")
+    supervised = execute_job(
+        "bfs", "tiny", None, "rtx2080ti", "swift-basic",
+        parallel_shards=2,
+        shard_fault={"seed": 4, "kill_rate": 1.0, "max_attempts": 2,
+                     "degrade": True},
+    )
+    assert supervised["total_cycles"] == serial["total_cycles"]
+    assert supervised["kernels"] == serial["kernels"]
+
+
+def test_execute_job_terminal_shard_fault_propagates():
+    from repro.serve.worker import execute_job
+
+    with pytest.raises(ShardFault):
+        execute_job(
+            "bfs", "tiny", None, "rtx2080ti", "swift-basic",
+            parallel_shards=2,
+            shard_fault={"seed": 4, "kill_rate": 1.0, "max_attempts": 1,
+                         "degrade": False},
+        )
+
+
+def test_job_request_validates_shard_fault():
+    from repro.errors import ServeError
+    from repro.serve.jobs import JobRequest
+
+    request = JobRequest.from_dict({
+        "app": "bfs", "simulator": "swift-basic",
+        "parallel_shards": 2, "shard_fault": {"kill_rate": 0.5},
+    })
+    assert request.parallel_shards == 2
+    assert request.to_dict()["shard_fault"] == {"kill_rate": 0.5}
+    with pytest.raises(ServeError):
+        JobRequest.from_dict({
+            "app": "bfs", "simulator": "swift-basic",
+            "shard_fault": {"kill_rate": 0.5},
+        })
+    with pytest.raises(ServeError):
+        JobRequest.from_dict({
+            "app": "bfs", "simulator": "swift-basic", "parallel_shards": 3,
+        })
